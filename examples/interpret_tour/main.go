@@ -1,0 +1,107 @@
+// Interpretability tour: the Part 3.2 toolbox end to end on one trained
+// model — dimensionality reduction of its representation, a LIME local
+// explanation, a global tree surrogate, gradient saliency on synthetic
+// images with known discriminative pixels, and declarative hypothesis
+// queries over its neurons.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsys/internal/data"
+	"dlsys/internal/inspect"
+	"dlsys/internal/interpret"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ds := data.GaussianMixture(rng, 600, 10, 4, 3)
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 10, Hidden: []int{32}, Out: 4})
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(ds.X, nn.OneHot(ds.Labels, 4), nn.TrainConfig{Epochs: 30, BatchSize: 32})
+	fmt.Printf("model accuracy: %.3f\n\n", net.Accuracy(ds.X, ds.Labels))
+
+	// 1. Dimensionality reduction of the 10-D inputs.
+	sub := ds.Subset(firstN(200))
+	fmt.Println("== dimensionality reduction (same-class fraction among 8 nearest neighbours) ==")
+	for _, m := range []struct {
+		name string
+		emb  *tensor.Tensor
+	}{
+		{"pca", interpret.PCA(sub.X, 2)},
+		{"isomap", interpret.Isomap(sub.X, 10, 2)},
+		{"t-sne", interpret.TSNE(sub.X, interpret.TSNEConfig{Perplexity: 15, Iters: 250, LR: 50, Seed: 8})},
+	} {
+		fmt.Printf("  %-7s purity=%.3f\n", m.name, interpret.SameClassNeighborFraction(m.emb, sub.Labels, 8))
+	}
+
+	// 2. LIME around a boundary point.
+	probs := nn.Softmax(net.Forward(ds.X, false))
+	row, conf := 0, 2.0
+	for i := 0; i < probs.Dim(0); i++ {
+		if c := probs.Row(i)[probs.ArgMaxRow(i)]; c < conf {
+			conf, row = c, i
+		}
+	}
+	class := net.Predict(ds.X)[row]
+	exp := interpret.LIME(rng, net, ds.X.Row(row), class, interpret.LIMEConfig{Samples: 600, KernelWidth: 1, Sigma: 0.3})
+	fmt.Printf("\n== LIME explanation of example %d (class %d, confidence %.2f) ==\n", row, class, conf)
+	fmt.Printf("  fidelity=%.3f weights=%v\n", exp.Fidelity, round3(exp.Weights))
+
+	// 3. Global surrogate tree.
+	tree := interpret.TreeSurrogate(net, ds.X, 4, 5)
+	fmt.Printf("\n== global tree surrogate ==\n  agreement with network: %.3f (depth %d)\n",
+		interpret.AgreementTree(net, tree, ds.X), tree.Depth())
+
+	// 4. Saliency on images with a known ground-truth region.
+	imgRng := rand.New(rand.NewSource(9))
+	imgs, masks := data.SyntheticDigits(imgRng, data.DigitsConfig{N: 200})
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	cnn := nn.NewNetwork(
+		nn.NewConv2D(imgRng, "c1", g, 4), nn.NewReLU("r1"),
+		nn.NewFlatten("f"), nn.NewDense(imgRng, "out", 4*64, 4))
+	nn.NewTrainer(cnn, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.005), imgRng).
+		Fit(imgs.X, nn.OneHot(imgs.Labels, 4), nn.TrainConfig{Epochs: 40, BatchSize: 16})
+	x0 := tensor.FromSlice(append([]float64(nil), imgs.X.Data[:64]...), 1, 1, 8, 8)
+	sal := interpret.Saliency(cnn, x0, imgs.Labels[0])
+	fmt.Printf("\n== gradient saliency (class %d glyph) ==\n  mass on true glyph: %.2f (glyph covers %.2f of the image)\n",
+		imgs.Labels[0], interpret.SaliencyMass(sal, masks[imgs.Labels[0]]), maskFrac(masks[imgs.Labels[0]]))
+
+	// 5. Declarative neuron hypotheses (DeepBase-style).
+	acts := inspect.Record(net, ds.X)
+	hits, _ := acts.CorrelatesWith("relu0", inspect.LabelSignal(ds.Labels, 0), 0.6)
+	dead, _ := acts.DeadUnits("relu0", 1e-9)
+	pairs, _ := acts.RedundantPairs("relu0", 0.95)
+	fmt.Printf("\n== declarative neuron queries on relu0 ==\n")
+	fmt.Printf("  units with |corr(class 0)| >= 0.6: %d\n", len(hits))
+	fmt.Printf("  dead units: %d, redundant pairs (|corr| >= 0.95): %d\n", len(dead), len(pairs))
+}
+
+func firstN(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func round3(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000)) / 1000
+	}
+	return out
+}
+
+func maskFrac(mask []bool) float64 {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return float64(n) / float64(len(mask))
+}

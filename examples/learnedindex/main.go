@@ -1,0 +1,74 @@
+// Learned index walkthrough: build an RMI and a B-tree over the same key
+// sets and compare memory, lookup latency, and search windows — the Part 2
+// "learned access methods" story.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dlsys/internal/data"
+	"dlsys/internal/db"
+	"dlsys/internal/learned"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	for _, dist := range []data.KeyDistribution{data.Uniform, data.ZipfGaps, data.Lognormal} {
+		keys := data.GenerateKeys(rng, dist, n)
+		bt := db.BulkLoadBTree(keys)
+		rmi := learned.BuildRMI(keys, 1024)
+
+		probe := make([]uint64, 10000)
+		for i := range probe {
+			probe[i] = keys[rng.Intn(len(keys))]
+		}
+
+		start := time.Now()
+		for _, k := range probe {
+			if _, ok := bt.Lookup(k); !ok {
+				panic("btree lost a key")
+			}
+		}
+		btNs := time.Since(start).Nanoseconds() / int64(len(probe))
+
+		start = time.Now()
+		for _, k := range probe {
+			if _, ok := rmi.Lookup(keys, k); !ok {
+				panic("rmi lost a key")
+			}
+		}
+		rmiNs := time.Since(start).Nanoseconds() / int64(len(probe))
+
+		fmt.Printf("%-10s keys=%d  btree: %6.1fKB depth=%d %4dns/op   rmi: %5.1fKB window<=%d %4dns/op  (%.0fx smaller)\n",
+			dist, len(keys),
+			float64(bt.MemoryBytes())/1024, bt.Depth(), btNs,
+			float64(rmi.MemoryBytes())/1024, rmi.MaxSearchWindow(), rmiNs,
+			float64(bt.MemoryBytes())/float64(rmi.MemoryBytes()))
+	}
+
+	// Learned Bloom filter on clustered keys.
+	keys := learned.ClusteredKeys(rng, 10000, 4, 1<<30)
+	negs := data.NegativeKeys(rng, keys, 10000)
+	lb := learned.BuildLearnedBloom(rng, keys, negs, learned.LearnedBloomConfig{
+		Hidden: 12, Epochs: 40, LR: 0.01, TargetFPR: 0.03, BackupFPR: 0.03,
+	})
+	testNegs := data.NegativeKeys(rng, keys, 40000)
+	fpr := lb.MeasuredFPR(testNegs)
+	classic := db.NewBloom(len(keys), maxf(fpr, 1e-4))
+	for _, k := range keys {
+		classic.Add(k)
+	}
+	fmt.Printf("\nlearned bloom: %dB @ measured FPR %.4f (zero false negatives)\n", lb.MemoryBytes(), fpr)
+	fmt.Printf("classic bloom at same FPR target: %dB @ measured FPR %.4f\n",
+		classic.MemoryBytes(), classic.MeasuredFPR(testNegs))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

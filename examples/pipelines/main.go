@@ -1,0 +1,34 @@
+// Declarative pipelines: specify several training/compression pipelines
+// like query plans and compare their full tradeoff ledgers — accuracy,
+// training cost, deployed size, inference latency, and carbon footprint —
+// the "declarative interfaces" opportunity from Part 1 of the tutorial.
+package main
+
+import (
+	"fmt"
+
+	"dlsys/internal/device"
+	"dlsys/internal/green"
+	"dlsys/internal/pipeline"
+)
+
+func main() {
+	specs := map[string]pipeline.Spec{
+		"baseline":     {Seed: 1},
+		"pruned-70":    {Seed: 1, PruneSparsity: 0.7},
+		"distilled-8":  {Seed: 1, DistillWidth: 8},
+		"quantized-4b": {Seed: 1, QuantizeBits: 4},
+		"edge-int8":    {Seed: 1, DistillWidth: 8, QuantizeBits: 8, IntInference: true, Device: device.EdgeDevice},
+		"green-hydro":  {Seed: 1, Region: green.Hydro},
+		"kitchen-sink": {Seed: 1, PruneSparsity: 0.5, DistillWidth: 12, QuantizeBits: 8},
+	}
+	order := []string{"baseline", "pruned-70", "distilled-8", "quantized-4b", "edge-int8", "green-hydro", "kitchen-sink"}
+	for _, name := range order {
+		ledger, err := pipeline.Run(specs[name])
+		if err != nil {
+			fmt.Printf("%-13s ERROR: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("%-13s %s\n", name, ledger)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: train a classifier on synthetic data, then walk the Part 1
+// tradeoff space — quantize it, prune it, and distill it — printing the
+// accuracy/size/compute ledger for each variant.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsys/internal/data"
+	"dlsys/internal/distill"
+	"dlsys/internal/nn"
+	"dlsys/internal/prune"
+	"dlsys/internal/quant"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	ds := data.GaussianMixture(rng, 2000, 8, 4, 3)
+	train, test := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, 4)
+
+	// 1. Train the reference model.
+	cfg := nn.MLPConfig{In: 8, Hidden: []int{64, 64}, Out: 4}
+	net := nn.NewMLP(rng, cfg)
+	trainer := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	stats := trainer.Fit(train.X, y, nn.TrainConfig{Epochs: 40, BatchSize: 32})
+	fmt.Printf("reference: acc=%.3f params=%d train-GFLOPs=%.2f\n",
+		net.Accuracy(test.X, test.Labels), net.NumParams(), float64(stats.FLOPs)/1e9)
+
+	// 2. Quantize to 8 and 4 bits.
+	for _, bits := range []int{8, 4} {
+		state, bytes := quant.QuantizeNetwork(net, bits)
+		q := nn.NewMLP(rand.New(rand.NewSource(1)), cfg)
+		q.LoadStateDict(state)
+		fmt.Printf("%d-bit quantized: acc=%.3f size=%dB (float32: %dB)\n",
+			bits, q.Accuracy(test.X, test.Labels), bytes, net.ParamBytes(32))
+	}
+
+	// 3. Integer-only inference path.
+	im := quant.CompileIntMLP(net)
+	fmt.Printf("int8 inference: acc=%.3f size=%dB\n", im.Accuracy(test.X, test.Labels), im.Bytes())
+
+	// 4. Prune to 80% sparsity and fine-tune briefly.
+	prune.GlobalPrune(rng, net, 0.8, prune.Magnitude)
+	trainer.Fit(train.X, y, nn.TrainConfig{Epochs: 5, BatchSize: 32})
+	fmt.Printf("80%%-pruned + finetune: acc=%.3f sparsity=%.2f sparse-size=%dB\n",
+		net.Accuracy(test.X, test.Labels), prune.Sparsity(net), prune.NonzeroParamBytes(net))
+
+	// 5. Distill into a student an eighth of the size.
+	student := nn.NewMLP(rng, nn.MLPConfig{In: 8, Hidden: []int{16}, Out: 4})
+	distill.Distill(rng, net, student, train.X, y, distill.Config{
+		Alpha: 0.3, T: 3, Epochs: 40, BatchSize: 32, LR: 0.01,
+	})
+	fmt.Printf("distilled student: acc=%.3f params=%d agreement-with-teacher=%.3f\n",
+		student.Accuracy(test.X, test.Labels), student.NumParams(),
+		distill.Agreement(net, student, test.X))
+}

@@ -1,0 +1,3 @@
+module dlsys
+
+go 1.22

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	claims := Claims()
+	if len(claims) != 32 {
+		t.Fatalf("registered %d claim experiments, want 32", len(claims))
+	}
+	for i, e := range claims {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("claim %d has ID %s, want %s", i, e.ID, want)
+		}
+	}
+	abl := Ablations()
+	if len(abl) != 9 {
+		t.Fatalf("registered %d ablations, want 9", len(abl))
+	}
+	for i, e := range abl {
+		want := "A" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("ablation %d has ID %s, want %s", i, e.ID, want)
+		}
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Claim == "" || e.Section == "" || e.Run == nil {
+			t.Fatalf("%s is incompletely described", e.ID)
+		}
+	}
+	ext := Extensions()
+	if len(ext) != 4 {
+		t.Fatalf("registered %d extensions, want 4", len(ext))
+	}
+	// Order: claims, then ablations, then extensions.
+	if All()[0].ID != "E1" || All()[32].ID != "A1" || All()[41].ID != "X1" {
+		t.Fatalf("ordering wrong: %s, %s, %s", All()[0].ID, All()[32].ID, All()[41].ID)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("E999"); ok {
+		t.Fatal("unknown experiment should not resolve")
+	}
+}
+
+func TestTechniquesCoverAllSections(t *testing.T) {
+	sections := map[string]bool{}
+	packages := map[string]bool{}
+	for _, tech := range Techniques() {
+		if tech.Name == "" || tech.Package == "" {
+			t.Fatal("incomplete technique entry")
+		}
+		if len(tech.Improves) == 0 {
+			t.Fatalf("%s improves nothing", tech.Name)
+		}
+		sections[tech.Section] = true
+		packages[tech.Package] = true
+	}
+	for _, s := range []string{"2.1", "2.2", "2.3", "3", "4.1", "4.2", "4.3"} {
+		if !sections[s] {
+			t.Fatalf("no techniques from tutorial section %s", s)
+		}
+	}
+	for _, p := range []string{"quant", "prune", "distill", "ensemble", "distributed",
+		"planner", "checkpoint", "learned", "explore", "fairness", "interpret", "modelstore", "green"} {
+		if !packages[p] {
+			t.Fatalf("package %s not represented in the technique framework", p)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Claim: "c", Columns: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	out := tab.Render()
+	for _, want := range []string{"X — demo", "a", "bb", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment must run at Quick scale and produce a plausible table.
+// Heavier shape assertions live in the per-package tests; here we check the
+// harness end to end.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(Quick)
+			if tab == nil {
+				t.Fatal("nil table")
+			}
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %s != experiment ID %s", tab.ID, e.ID)
+			}
+			if len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Columns) {
+					t.Fatalf("row width %d != %d columns", len(r), len(tab.Columns))
+				}
+			}
+			if tab.Shape == "" {
+				t.Fatal("experiment did not record its expected shape")
+			}
+		})
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsys/internal/checkpoint"
+	"dlsys/internal/data"
+	"dlsys/internal/device"
+	"dlsys/internal/distill"
+	"dlsys/internal/distributed"
+	"dlsys/internal/ensemble"
+	"dlsys/internal/nn"
+	"dlsys/internal/planner"
+	"dlsys/internal/prune"
+	"dlsys/internal/quant"
+)
+
+// benchData builds the shared classification workload for the Part 1
+// experiments and trains a reference network on it.
+func benchData(scale Scale, seed int64) (train, test *data.Dataset, cfg nn.MLPConfig, epochs int) {
+	n, hidden, ep := 600, 32, 20
+	if scale == Full {
+		n, hidden, ep = 2400, 64, 40
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := data.GaussianMixture(rng, n, 8, 4, 3)
+	tr, te := ds.Split(rng, 0.8)
+	return tr, te, nn.MLPConfig{In: 8, Hidden: []int{hidden, hidden}, Out: 4}, ep
+}
+
+func trainRef(train *data.Dataset, cfg nn.MLPConfig, epochs int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewMLP(rng, cfg)
+	t := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	t.Fit(train.X, nn.OneHot(train.Labels, cfg.Out), nn.TrainConfig{Epochs: epochs, BatchSize: 32})
+	return net
+}
+
+func init() {
+	register(Experiment{
+		ID: "E1", Section: "2.1",
+		Title: "Linear quantization: bits vs accuracy vs model size",
+		Claim: "Quantization shrinks models roughly linearly in bit width; accuracy is flat down to ~8 bits and degrades below",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID: "E2", Section: "2.1",
+		Title: "Codebook (k-means) quantization + Huffman coding",
+		Claim: "Learned codebooks trade codebook size for accuracy; Huffman coding shrinks codes losslessly",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID: "E3", Section: "2.1",
+		Title: "Pruning: sparsity vs accuracy across criteria",
+		Claim: "Accuracy is stable up to high sparsity then falls off; magnitude/saliency criteria beat random",
+		Run:   runE3,
+	})
+	register(Experiment{
+		ID: "E4", Section: "2.1",
+		Title: "Knowledge distillation into smaller students",
+		Claim: "A distilled student tracks the teacher's function better than an identical student trained from scratch",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID: "E5", Section: "2.1",
+		Title: "Ensemble training strategies: cost vs accuracy vs memory",
+		Claim: "Snapshot/FGE/TreeNets/MotherNets cut training cost below K-from-scratch at a small accuracy cost; TreeNets/MotherNets also cut memory",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID: "E6", Section: "2.1",
+		Title: "Local SGD: averaging period vs bytes vs accuracy",
+		Claim: "Communication falls proportionally to the averaging period H while accuracy degrades slowly",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID: "E7", Section: "2.1",
+		Title: "Gradient compression: top-k and low-bit gradients",
+		Claim: "Sparsified/quantized gradients cut bytes by 10-100x with little accuracy loss (error feedback)",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID: "E8", Section: "2.1",
+		Title: "Priority-based parameter propagation",
+		Claim: "Priority propagation overlaps communication with computation, cutting simulated step time vs FIFO",
+		Run:   runE8,
+	})
+	register(Experiment{
+		ID: "E9", Section: "2.2",
+		Title: "FlexFlow-style strategy search: effort vs step time",
+		Claim: "Simulator-guided search finds placements near the exhaustive optimum; more search effort buys lower step time",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID: "E10", Section: "2.2",
+		Title: "MorphNet-style resizing under FLOP budgets",
+		Claim: "Importance-driven width reallocation meets the budget and competes with uniform scaling",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID: "E11", Section: "2.3",
+		Title: "Activation checkpointing: memory vs recompute",
+		Claim: "sqrt(n) checkpointing cuts activation memory to ~sqrt(n) at <= one extra forward; DP placement matches the budget with minimal recompute",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID: "E12", Section: "2.3",
+		Title: "Offloading intermediate results to host memory",
+		Claim: "Device memory falls linearly with the offloaded fraction; step time grows with transferred bytes",
+		Run:   runE12,
+	})
+}
+
+func runE1(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 1)
+	net := trainRef(train, cfg, epochs, 2)
+	base := net.Accuracy(test.X, test.Labels)
+	t := &Table{ID: "E1", Title: "Quantization sweep", Claim: "flat to ~8 bits, degrades below",
+		Columns: []string{"bits", "size_bytes", "accuracy", "acc_drop"}}
+	t.AddRow(32, net.ParamBytes(32), base, 0.0)
+	for _, bits := range []int{16, 8, 4, 2, 1} {
+		state, bytes := quant.QuantizeNetwork(net, bits)
+		qnet := nn.NewMLP(rand.New(rand.NewSource(3)), cfg)
+		qnet.LoadStateDict(state)
+		acc := qnet.Accuracy(test.X, test.Labels)
+		t.AddRow(bits, bytes, acc, base-acc)
+	}
+	t.Shape = "size shrinks ~linearly with bits; accuracy flat until low bit widths"
+	return t
+}
+
+func runE2(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 4)
+	net := trainRef(train, cfg, epochs, 5)
+	base := net.Accuracy(test.X, test.Labels)
+	t := &Table{ID: "E2", Title: "Codebook quantization", Claim: "bigger codebooks restore accuracy",
+		Columns: []string{"codebook", "raw_bytes", "huffman_bytes", "accuracy", "acc_drop"}}
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range []int{2, 4, 16, 64, 256} {
+		var rawBytes, huffBytes int64
+		state := net.StateDict()
+		for _, p := range net.Params() {
+			cb := quant.QuantizeKMeans(rng, p.Value, k, 12)
+			rawBytes += cb.Bytes()
+			huffBytes += quant.HuffmanBytes(cb.Codes) + int64(len(cb.Centers))*8
+			state[p.Name] = cb.Dequantize().Data
+		}
+		qnet := nn.NewMLP(rand.New(rand.NewSource(7)), cfg)
+		qnet.LoadStateDict(state)
+		acc := qnet.Accuracy(test.X, test.Labels)
+		t.AddRow(k, rawBytes, huffBytes, acc, base-acc)
+	}
+	t.Shape = "accuracy rises with codebook size; Huffman pays off only when codes are skewed (k-means yields near-uniform codes, so its table overhead shows here)"
+	return t
+}
+
+func runE3(scale Scale) *Table {
+	t := &Table{ID: "E3", Title: "Pruning sweep", Claim: "flat then cliff; informed criteria beat random",
+		Columns: []string{"sparsity", "criterion", "accuracy", "sparse_bytes"}}
+	for _, crit := range []struct {
+		name string
+		c    prune.Criterion
+	}{{"magnitude", prune.Magnitude}, {"saliency", prune.Saliency}, {"random", prune.Random}} {
+		for _, sp := range []float64{0, 0.5, 0.7, 0.9, 0.95} {
+			train, test, cfg, epochs := benchData(scale, 8)
+			net := trainRef(train, cfg, epochs, 9)
+			tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.005), rand.New(rand.NewSource(10)))
+			if sp > 0 {
+				if crit.c == prune.Saliency {
+					tr.ComputeGrad(train.X, nn.OneHot(train.Labels, cfg.Out))
+				}
+				prune.GlobalPrune(rand.New(rand.NewSource(11)), net, sp, crit.c)
+				tr.Fit(train.X, nn.OneHot(train.Labels, cfg.Out), nn.TrainConfig{Epochs: 3, BatchSize: 32})
+			}
+			t.AddRow(sp, crit.name, net.Accuracy(test.X, test.Labels), prune.NonzeroParamBytes(net))
+		}
+	}
+	t.Shape = "accuracy stable to ~70-90% sparsity then drops; random degrades first"
+	return t
+}
+
+func runE4(scale Scale) *Table {
+	// A harder task than the shared benchData mixture, so small students
+	// visibly benefit from the teacher's dark knowledge. Enough data that
+	// the wide teacher generalises better than any student.
+	// The setting where transfer robustly matters: students only have a
+	// small labeled subset, while the teacher (trained on everything)
+	// provides soft labels over the full unlabeled pool — Hinton et al.'s
+	// "transferring the function" framing.
+	n := 1200
+	if scale == Full {
+		n = 4800
+	}
+	rng := rand.New(rand.NewSource(12))
+	ds := data.GaussianMixture(rng, n, 8, 4, 2.2)
+	train, test := ds.Split(rng, 0.8)
+	cfg := nn.MLPConfig{In: 8, Hidden: []int{64, 64}, Out: 4}
+	epochs := 40
+	teacher := trainRef(train, cfg, epochs, 13)
+	tacc := teacher.Accuracy(test.X, test.Labels)
+
+	// Labeled subset for the scratch students: 10% of the pool.
+	subsetIdx := make([]int, 0, train.N()/10)
+	for i := 0; i < train.N(); i += 10 {
+		subsetIdx = append(subsetIdx, i)
+	}
+	subset := train.Subset(subsetIdx)
+	subY := nn.OneHot(subset.Labels, cfg.Out)
+	// Distilled students learn from the full pool labeled by the teacher.
+	teacherHard := nn.OneHot(teacher.Predict(train.X), cfg.Out)
+
+	t := &Table{ID: "E4", Title: "Distillation", Claim: "teacher-labeled distillation beats label-starved scratch training",
+		Columns: []string{"student_width", "scratch_acc(10%labels)", "distilled_acc", "scratch_agreement", "distilled_agreement"}}
+	for _, w := range []int{4, 8, 16} {
+		sCfg := nn.MLPConfig{In: cfg.In, Hidden: []int{w}, Out: cfg.Out}
+		scratch := nn.NewMLP(rand.New(rand.NewSource(14)), sCfg)
+		str := nn.NewTrainer(scratch, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rand.New(rand.NewSource(15)))
+		str.Fit(subset.X, subY, nn.TrainConfig{Epochs: epochs, BatchSize: 16})
+		student := nn.NewMLP(rand.New(rand.NewSource(14)), sCfg) // same init as scratch
+		distill.Distill(rand.New(rand.NewSource(16)), teacher, student, train.X, teacherHard, distill.Config{
+			Alpha: 0.2, T: 3, Epochs: epochs, BatchSize: 32, LR: 0.01,
+		})
+		t.AddRow(w, scratch.Accuracy(test.X, test.Labels), student.Accuracy(test.X, test.Labels),
+			distill.Agreement(teacher, scratch, test.X),
+			distill.Agreement(teacher, student, test.X))
+	}
+	t.AddRow("teacher", tacc, tacc, 1.0, 1.0)
+	t.Shape = "distilled students reach near-teacher accuracy and high agreement; label-starved scratch students trail"
+	return t
+}
+
+func runE5(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 17)
+	y := nn.OneHot(train.Labels, cfg.Out)
+	ecfg := ensemble.TrainConfig{K: 3, Arch: cfg, Epochs: epochs, BatchSize: 32, LR: 0.01}
+	t := &Table{ID: "E5", Title: "Ensemble strategies", Claim: "shortcuts cut training cost, shared-structure methods cut memory",
+		Columns: []string{"method", "train_gflops", "params", "accuracy"}}
+	add := func(name string, r ensemble.Result) {
+		t.AddRow(name, float64(r.FLOPs)/1e9, r.Committee.NumParams(),
+			ensemble.Accuracy(r.Committee, test.X, test.Labels))
+	}
+	add("independent", ensemble.TrainIndependent(18, train.X, y, ecfg))
+	add("snapshot", ensemble.TrainSnapshot(19, train.X, y, ecfg))
+	add("fge", ensemble.TrainFGE(20, train.X, y, ecfg))
+	add("treenets", ensemble.TrainTreeNet(21, train.X, y, ecfg))
+	add("mothernets", ensemble.TrainMotherNets(22, train.X, y, ensemble.MotherNetsConfig{
+		Members:      []nn.MLPConfig{cfg, cfg, cfg},
+		MotherEpochs: epochs / 2, FineTuneEpochs: epochs / 5, BatchSize: 32, LR: 0.01,
+	}))
+	t.Shape = "independent: max cost & accuracy; snapshot/FGE ~K x cheaper; treenets/mothernets also fewer params"
+	return t
+}
+
+func runE6(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 23)
+	y := nn.OneHot(train.Labels, cfg.Out)
+	t := &Table{ID: "E6", Title: "Local SGD", Claim: "bytes ~ 1/H, accuracy degrades slowly",
+		Columns: []string{"H", "mbytes_sent", "rounds", "accuracy"}}
+	for _, h := range []int{1, 4, 16, 64} {
+		net, stats := distributed.Train(24, train.X, y, distributed.Config{
+			Workers: 4, Arch: cfg, Epochs: epochs, BatchSize: 16, LR: 0.1, AveragePeriod: h,
+		})
+		t.AddRow(h, float64(stats.BytesSent)/1e6, stats.AveragingRound, net.Accuracy(test.X, test.Labels))
+	}
+	t.Shape = "bytes fall ~1/H; accuracy loss grows gently with H"
+	return t
+}
+
+func runE7(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 25)
+	y := nn.OneHot(train.Labels, cfg.Out)
+	t := &Table{ID: "E7", Title: "Gradient compression", Claim: "large byte savings, small accuracy loss",
+		Columns: []string{"scheme", "mbytes_sent", "accuracy"}}
+	run := func(name string, topK float64, bits int) {
+		net, stats := distributed.Train(26, train.X, y, distributed.Config{
+			Workers: 4, Arch: cfg, Epochs: epochs, BatchSize: 16, LR: 0.1,
+			AveragePeriod: 1, TopK: topK, QuantBits: bits,
+		})
+		t.AddRow(name, float64(stats.BytesSent)/1e6, net.Accuracy(test.X, test.Labels))
+	}
+	run("dense fp32", 1, 0)
+	run("top-10%", 0.10, 0)
+	run("top-1%", 0.01, 0)
+	run("8-bit", 1, 8)
+	run("4-bit", 1, 4)
+	run("top-10% + 8-bit", 0.10, 8)
+	t.Shape = "compressed schemes cut bytes 5-100x; accuracy within a few points of dense"
+	return t
+}
+
+func runE8(scale Scale) *Table {
+	t := &Table{ID: "E8", Title: "Priority propagation", Claim: "priority hides communication behind compute",
+		Columns: []string{"model", "fifo_ms", "priority_ms", "speedup"}}
+	archs := []nn.MLPConfig{
+		{In: 256, Hidden: []int{512, 512}, Out: 10},
+		{In: 512, Hidden: []int{1024, 1024, 1024}, Out: 10},
+		{In: 1024, Hidden: []int{2048, 2048, 2048, 2048}, Out: 10},
+	}
+	for i, arch := range archs {
+		fifo := distributed.StepTimeModel(arch, device.EdgeDevice, false)
+		prio := distributed.StepTimeModel(arch, device.EdgeDevice, true)
+		t.AddRow(fmt.Sprintf("mlp-%d", i+1), fifo*1e3, prio*1e3, fifo/prio)
+	}
+	t.Shape = "priority step time strictly below FIFO; gap widens with model size"
+	return t
+}
+
+func runE9(scale Scale) *Table {
+	arch := nn.MLPConfig{In: 256, Hidden: []int{512, 256, 128}, Out: 10}
+	ops := planner.OpChain(arch, 32)
+	devs := []device.Profile{device.GPULarge, device.GPUSmall, device.CPUServer}
+	t := &Table{ID: "E9", Title: "Strategy search", Claim: "search effort buys step time; MCMC ~ optimal",
+		Columns: []string{"method", "simulations", "step_ms", "vs_optimal"}}
+	opt := planner.ExhaustiveSearch(ops, devs)
+	add := func(name string, r planner.SearchResult) {
+		t.AddRow(name, r.Simulations, r.BestTime*1e3, r.BestTime/opt.BestTime)
+	}
+	add("exhaustive", opt)
+	add("greedy", planner.GreedySearch(ops, devs))
+	add("random-100", planner.RandomSearch(rand.New(rand.NewSource(27)), ops, devs, 100))
+	add("mcmc-100", planner.MCMCSearch(rand.New(rand.NewSource(28)), ops, devs, 100))
+	add("mcmc-2000", planner.MCMCSearch(rand.New(rand.NewSource(29)), ops, devs, 2000))
+	t.Shape = "mcmc-2000 within a few % of optimal; diminishing returns beyond"
+	return t
+}
+
+func runE10(scale Scale) *Table {
+	train, test, cfg, epochs := benchData(scale, 30)
+	y := nn.OneHot(train.Labels, cfg.Out)
+	full := planner.MLPFLOPs(cfg.In, cfg.Hidden, cfg.Out)
+	t := &Table{ID: "E10", Title: "MorphNet resizing", Claim: "morphed widths meet budgets, rival uniform scaling",
+		Columns: []string{"budget", "morph_widths", "morph_acc", "uniform_acc"}}
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		budget := int64(float64(full) * frac)
+		res := planner.Morph(31, train.X, y, planner.MorphConfig{
+			Base: cfg, BudgetFLOPs: budget, Iters: 2, TrainEpochs: epochs / 3, BatchSize: 32, LR: 0.01,
+		})
+		uw := planner.UniformScale(cfg.In, cfg.Hidden, cfg.Out, budget)
+		urng := rand.New(rand.NewSource(32))
+		unet := nn.NewMLP(urng, nn.MLPConfig{In: cfg.In, Hidden: uw, Out: cfg.Out})
+		nn.NewTrainer(unet, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), urng).
+			Fit(train.X, y, nn.TrainConfig{Epochs: 2 * epochs / 3, BatchSize: 32})
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100), fmt.Sprintf("%v", res.Widths),
+			res.Net.Accuracy(test.X, test.Labels), unet.Accuracy(test.X, test.Labels))
+	}
+	t.Shape = "morphed nets meet every budget with accuracy >= uniform - epsilon"
+	return t
+}
+
+func runE11(scale Scale) *Table {
+	blocks := 16
+	if scale == Full {
+		blocks = 32
+	}
+	rng := rand.New(rand.NewSource(33))
+	var layers []nn.Layer
+	width := 64
+	for i := 0; i < blocks; i++ {
+		layers = append(layers,
+			nn.NewDense(rng, fmt.Sprintf("fc%d", i), width, width),
+			nn.NewReLU(fmt.Sprintf("relu%d", i)))
+	}
+	layers = append(layers, nn.NewDense(rng, "head", width, 4))
+	net := nn.NewNetwork(layers...)
+	cm := checkpoint.FromNetwork(net, []int{width}, 32)
+
+	t := &Table{ID: "E11", Title: "Checkpointing", Claim: "sqrt memory at bounded recompute; DP fits budgets",
+		Columns: []string{"strategy", "peak_kfloats", "recompute_mflops", "extra_fwd_frac"}}
+	var fwd int64
+	for _, c := range cm.Costs {
+		fwd += c
+	}
+	for _, p := range []struct {
+		name string
+		plan checkpoint.Plan
+	}{
+		{"store-all", checkpoint.StoreAll(len(net.Layers))},
+		{"sqrt(n)", checkpoint.SqrtN(len(net.Layers))},
+	} {
+		t.AddRow(p.name, float64(cm.PeakMemory(p.plan))/1e3,
+			float64(cm.RecomputeFLOPs(p.plan))/1e6,
+			float64(cm.RecomputeFLOPs(p.plan))/float64(fwd))
+	}
+	all := checkpoint.StoreAll(len(net.Layers))
+	for _, frac := range []float64{0.75, 0.5, 0.35} {
+		budget := int64(float64(cm.PeakMemory(all)) * frac)
+		plan, ok := cm.OptimalPlan(budget)
+		name := fmt.Sprintf("dp@%.0f%%all", frac*100)
+		if !ok {
+			t.AddRow(name, "infeasible", "-", "-")
+			continue
+		}
+		t.AddRow(name, float64(cm.PeakMemory(plan))/1e3,
+			float64(cm.RecomputeFLOPs(plan))/1e6,
+			float64(cm.RecomputeFLOPs(plan))/float64(fwd))
+	}
+	t.Shape = "sqrt(n) cuts peak memory several-fold at <=1 extra forward; DP meets tighter budgets"
+	return t
+}
+
+func runE12(scale Scale) *Table {
+	t := &Table{ID: "E12", Title: "Offloading", Claim: "memory linear down, time linear up",
+		Columns: []string{"offload_frac", "device_mb", "extra_ms_per_step"}}
+	actBytes := int64(1 << 30) // 1 GiB of activations
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		devBytes, extra := checkpoint.OffloadModel(device.GPUSmall, actBytes, frac)
+		t.AddRow(frac, float64(devBytes)/1e6, extra*1e3)
+	}
+	t.Shape = "device bytes fall linearly; extra step time rises linearly in offloaded bytes"
+	return t
+}

@@ -1,0 +1,188 @@
+// Package db implements the in-memory database substrate that Part 2 of
+// the tutorial's learned components enhance or replace: a column store with
+// typed columns and predicate scans, a B-tree index, a Bloom filter,
+// equi-width/equi-depth histograms with independence-assumption selectivity
+// estimation, and a Selinger-style dynamic-programming join-order
+// optimizer. Everything is exact and deterministic so learned counterparts
+// can be benchmarked against trustworthy baselines.
+package db
+
+import "sort"
+
+// btreeOrder is the maximum number of keys per node. 64 keeps nodes around
+// a cache line multiple and trees shallow.
+const btreeOrder = 64
+
+// BTree maps uint64 keys to integer positions (e.g. row ids). It is a
+// classic in-memory B-tree supporting insert, point lookup, and range scan.
+type BTree struct {
+	root  *btreeNode
+	count int
+}
+
+type btreeNode struct {
+	keys     []uint64
+	values   []int // leaf only
+	children []*btreeNode
+	leaf     bool
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btreeNode{leaf: true}}
+}
+
+// BulkLoadBTree builds a tree from sorted keys with values 0..n-1 (each
+// key's value is its position), the layout learned indexes compete with.
+func BulkLoadBTree(sortedKeys []uint64) *BTree {
+	t := NewBTree()
+	for i, k := range sortedKeys {
+		t.Insert(k, i)
+	}
+	return t
+}
+
+// Len returns the number of stored keys.
+func (t *BTree) Len() int { return t.count }
+
+// Insert adds or overwrites key → value.
+func (t *BTree) Insert(key uint64, value int) {
+	if len(t.root.keys) == btreeOrder {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insert(key, value) {
+		t.count++
+	}
+}
+
+// insert returns true if a new key was added (false on overwrite).
+func (n *btreeNode) insert(key uint64, value int) bool {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if n.leaf {
+		if i < len(n.keys) && n.keys[i] == key {
+			n.values[i] = value
+			return false
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.values = append(n.values, 0)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		return true
+	}
+	if i < len(n.keys) && n.keys[i] == key {
+		i++ // equal separator: key lives in the right child
+	}
+	if len(n.children[i].keys) == btreeOrder {
+		n.splitChild(i)
+		if key > n.keys[i] {
+			i++
+		} else if key == n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insert(key, value)
+}
+
+// splitChild splits the full child at index i, hoisting its median key.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	midKey := child.keys[mid]
+	right := &btreeNode{leaf: child.leaf}
+	if child.leaf {
+		// Leaves keep the median key in the right node so every key stays
+		// in a leaf (B+-tree style values-at-leaves).
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.values = append(right.values, child.values[mid:]...)
+		child.keys = child.keys[:mid]
+		child.values = child.values[:mid]
+		// Separator is the first key of the right leaf; searches for it go
+		// right because insert/lookup treat equal separators as "go right".
+		midKey = right.keys[0]
+	} else {
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Lookup returns the value for key and whether it exists.
+func (t *BTree) Lookup(key uint64) (int, bool) {
+	n := t.root
+	for {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == key {
+				return n.values[i], true
+			}
+			return 0, false
+		}
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.children[i]
+	}
+}
+
+// RangeScan calls fn for every key in [lo, hi] in ascending order, stopping
+// early if fn returns false.
+func (t *BTree) RangeScan(lo, hi uint64, fn func(key uint64, value int) bool) {
+	t.root.rangeScan(lo, hi, fn)
+}
+
+func (n *btreeNode) rangeScan(lo, hi uint64, fn func(uint64, int) bool) bool {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	if n.leaf {
+		for ; i < len(n.keys) && n.keys[i] <= hi; i++ {
+			if !fn(n.keys[i], n.values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if i < len(n.keys) && n.keys[i] == lo {
+		i++
+	}
+	for ; ; i++ {
+		if !n.children[i].rangeScan(lo, hi, fn) {
+			return false
+		}
+		if i >= len(n.keys) || n.keys[i] > hi {
+			return true
+		}
+	}
+}
+
+// MemoryBytes estimates the tree's resident size: keys (8 B), values (8 B
+// at leaves), child pointers (8 B), and a per-node header.
+func (t *BTree) MemoryBytes() int64 {
+	var walk func(n *btreeNode) int64
+	walk = func(n *btreeNode) int64 {
+		b := int64(len(n.keys))*8 + int64(len(n.values))*8 + int64(len(n.children))*8 + 48
+		for _, c := range n.children {
+			b += walk(c)
+		}
+		return b
+	}
+	return walk(t.root)
+}
+
+// Depth returns the tree height (1 for a single leaf).
+func (t *BTree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}

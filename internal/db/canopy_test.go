@@ -1,0 +1,129 @@
+package db
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func canopyTable(rng *rand.Rand, n int) *Table {
+	t := NewTable("t", "x", "y")
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		t.Append(x, 0.8*x+0.2*rng.NormFloat64())
+	}
+	return t
+}
+
+func naiveStats(t *Table, col string, lo, hi int) (mean, std, min, max float64) {
+	data := t.Column(col)
+	if hi > len(data) {
+		hi = len(data)
+	}
+	var sum, sumSq, n float64
+	min, max = math.Inf(1), math.Inf(-1)
+	for r := lo; r < hi; r++ {
+		v := data[r]
+		sum += v
+		sumSq += v * v
+		n++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	mean = sum / n
+	std = math.Sqrt(sumSq/n - mean*mean)
+	return
+}
+
+func TestCanopyMatchesNaiveStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := canopyTable(rng, 10000)
+	c := NewCanopy(tab, 128)
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Intn(9000)
+		hi := lo + 1 + rng.Intn(1000)
+		wm, ws, wmin, wmax := naiveStats(tab, "x", lo, hi)
+		if got := c.Mean("x", lo, hi); math.Abs(got-wm) > 1e-9 {
+			t.Fatalf("mean[%d,%d) = %g, want %g", lo, hi, got, wm)
+		}
+		if got := c.Std("x", lo, hi); math.Abs(got-ws) > 1e-9 {
+			t.Fatalf("std[%d,%d) = %g, want %g", lo, hi, got, ws)
+		}
+		if got := c.Min("x", lo, hi); got != wmin {
+			t.Fatalf("min mismatch")
+		}
+		if got := c.Max("x", lo, hi); got != wmax {
+			t.Fatalf("max mismatch")
+		}
+	}
+}
+
+func TestCanopyCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := canopyTable(rng, 20000)
+	c := NewCanopy(tab, 256)
+	corr := c.Correlation("x", "y", 0, 20000)
+	// y = 0.8x + 0.2ε: ρ = 0.8/sqrt(0.64+0.04) ≈ 0.970.
+	if math.Abs(corr-0.970) > 0.02 {
+		t.Fatalf("correlation %g, want ~0.97", corr)
+	}
+	// Symmetric in arguments.
+	if c.Correlation("y", "x", 0, 20000) != corr {
+		t.Fatal("correlation not symmetric")
+	}
+}
+
+func TestCanopyRangeEdges(t *testing.T) {
+	tab := NewTable("t", "x")
+	for i := 0; i < 10; i++ {
+		tab.Append(float64(i))
+	}
+	c := NewCanopy(tab, 4)
+	// Range inside a single chunk.
+	if got := c.Mean("x", 1, 3); got != 1.5 {
+		t.Fatalf("single-chunk mean %g", got)
+	}
+	// Range spanning edges and full chunks.
+	if got := c.Mean("x", 1, 9); got != 4.5 {
+		t.Fatalf("spanning mean %g", got)
+	}
+	// Full table.
+	if got := c.Mean("x", 0, 10); got != 4.5 {
+		t.Fatalf("full mean %g", got)
+	}
+	// Out-of-range is clamped.
+	if got := c.Mean("x", 0, 999); got != 4.5 {
+		t.Fatalf("clamped mean %g", got)
+	}
+}
+
+func TestCanopyReusesWorkAcrossSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50000
+	tab := canopyTable(rng, n)
+	c := NewCanopy(tab, 512)
+	var naiveScanned int64
+
+	// An exploratory session: 60 overlapping range queries.
+	queries := make([][2]int, 60)
+	for q := range queries {
+		lo := rng.Intn(n / 2)
+		queries[q] = [2]int{lo, lo + n/3}
+	}
+	for _, q := range queries {
+		want := NaiveMean(tab, "x", q[0], q[1], &naiveScanned)
+		got := c.Mean("x", q[0], q[1])
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("answer mismatch on [%d,%d)", q[0], q[1])
+		}
+	}
+	t.Logf("rows scanned: canopy %d vs naive %d (%.1fx less)",
+		c.RowsScanned(), naiveScanned, float64(naiveScanned)/float64(c.RowsScanned()))
+	if c.RowsScanned() >= naiveScanned/4 {
+		t.Fatalf("canopy scanned %d rows, naive %d: expected >=4x saving", c.RowsScanned(), naiveScanned)
+	}
+}

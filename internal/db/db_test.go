@@ -1,0 +1,375 @@
+package db
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(uint64(i*7), i)
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len %d", bt.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := bt.Lookup(uint64(i * 7))
+		if !ok || v != i {
+			t.Fatalf("lookup %d: got %d,%v", i*7, v, ok)
+		}
+	}
+	if _, ok := bt.Lookup(3); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestBTreeOverwrite(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(42, 1)
+	bt.Insert(42, 2)
+	if bt.Len() != 1 {
+		t.Fatalf("len %d after overwrite", bt.Len())
+	}
+	if v, _ := bt.Lookup(42); v != 2 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+}
+
+// Property: B-tree agrees with a sorted-map oracle under random operations.
+func TestBTreeOracleQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		bt := NewBTree()
+		oracle := map[uint64]int{}
+		for i, op := range ops {
+			key := uint64(op % 512)
+			bt.Insert(key, i)
+			oracle[key] = i
+		}
+		if bt.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := bt.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRangeScanOrderedComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bt := NewBTree()
+	keys := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(10000))
+		bt.Insert(k, int(k))
+		keys[k] = true
+	}
+	var want []uint64
+	for k := range keys {
+		if k >= 2000 && k <= 7000 {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []uint64
+	bt.RangeScan(2000, 7000, func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan order mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBTreeRangeScanEarlyStop(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Insert(uint64(i), i)
+	}
+	calls := 0
+	bt.RangeScan(0, 99, func(k uint64, v int) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop failed: %d calls", calls)
+	}
+}
+
+func TestBTreeDepthLogarithmic(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100000; i++ {
+		bt.Insert(uint64(i), i)
+	}
+	if d := bt.Depth(); d > 5 {
+		t.Fatalf("depth %d too large for 100k keys at order 64", d)
+	}
+	if bt.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting broken")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := NewBloom(10000, 0.01)
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		b.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !b.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestBloomFPRNearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, target := range []float64{0.1, 0.01} {
+		b := NewBloom(5000, target)
+		present := map[uint64]bool{}
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64() >> 1
+			b.Add(k)
+			present[k] = true
+		}
+		absent := make([]uint64, 0, 20000)
+		for len(absent) < 20000 {
+			k := rng.Uint64() >> 1
+			if !present[k] {
+				absent = append(absent, k)
+			}
+		}
+		got := b.MeasuredFPR(absent)
+		if got > target*2.5 {
+			t.Fatalf("target %g: measured FPR %g too high", target, got)
+		}
+	}
+}
+
+func TestBloomSmallerBudgetHigherFPR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := make([]uint64, 4000)
+	present := map[uint64]bool{}
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		present[keys[i]] = true
+	}
+	absent := make([]uint64, 0, 10000)
+	for len(absent) < 10000 {
+		k := rng.Uint64()
+		if !present[k] {
+			absent = append(absent, k)
+		}
+	}
+	big := NewBloomBits(64000, 7)
+	small := NewBloomBits(16000, 3)
+	for _, k := range keys {
+		big.Add(k)
+		small.Add(k)
+	}
+	if big.MeasuredFPR(absent) >= small.MeasuredFPR(absent) {
+		t.Fatal("more bits should mean fewer false positives")
+	}
+}
+
+func makeTable(rng *rand.Rand, n int) *Table {
+	t := NewTable("t", "a", "b", "c")
+	for i := 0; i < n; i++ {
+		a := rng.Float64()
+		t.Append(a, a+0.1*rng.NormFloat64(), rng.Float64())
+	}
+	return t
+}
+
+func TestTableScanAndAggregates(t *testing.T) {
+	tab := NewTable("emp", "age", "salary")
+	tab.Append(30, 100)
+	tab.Append(40, 200)
+	tab.Append(50, 300)
+	if tab.Rows() != 3 {
+		t.Fatal("rows")
+	}
+	preds := []Pred{{Col: "age", Lo: 35, Hi: 55}}
+	if got := tab.Count(preds); got != 2 {
+		t.Fatalf("count %d", got)
+	}
+	if got := tab.Aggregate(AggMean, "salary", preds); got != 250 {
+		t.Fatalf("mean %g", got)
+	}
+	if got := tab.Aggregate(AggSum, "salary", nil); got != 600 {
+		t.Fatalf("sum %g", got)
+	}
+	if got := tab.Aggregate(AggMax, "salary", nil); got != 300 {
+		t.Fatalf("max %g", got)
+	}
+	if got := tab.Selectivity(preds); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("selectivity %g", got)
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	tab := NewTable("t", "g", "v")
+	tab.Append(0.1, 10)
+	tab.Append(0.2, 20)
+	tab.Append(1.4, 40)
+	m := tab.GroupMeans("g", "v", 1.0)
+	if m[0] != 15 || m[1] != 40 {
+		t.Fatalf("group means %v", m)
+	}
+}
+
+func TestHistogramEstimatesUniformData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	for _, h := range []*Histogram{NewEquiWidth(vals, 32), NewEquiDepth(vals, 32)} {
+		got := h.EstimateRange(0.2, 0.5)
+		if math.Abs(got-0.3) > 0.02 {
+			t.Fatalf("estimate %g, want ~0.3", got)
+		}
+		if h.EstimateRange(2, 3) > 0.001 {
+			t.Fatal("out-of-range should be ~0")
+		}
+		if e := h.EstimateRange(-10, 10); math.Abs(e-1) > 1e-9 {
+			t.Fatalf("full range estimate %g", e)
+		}
+	}
+}
+
+func TestEquiDepthBeatsEquiWidthOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Heavy skew: 95% of mass in [0, 0.01].
+	vals := make([]float64, 20000)
+	for i := range vals {
+		if rng.Float64() < 0.95 {
+			vals[i] = rng.Float64() * 0.01
+		} else {
+			vals[i] = rng.Float64()
+		}
+	}
+	truth := func(lo, hi float64) float64 {
+		c := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				c++
+			}
+		}
+		return float64(c) / float64(len(vals))
+	}
+	ew := NewEquiWidth(vals, 16)
+	ed := NewEquiDepth(vals, 16)
+	lo, hi := 0.0, 0.004
+	tw := truth(lo, hi)
+	qw := QError(ew.EstimateRange(lo, hi), tw)
+	qd := QError(ed.EstimateRange(lo, hi), tw)
+	if qd >= qw {
+		t.Fatalf("equi-depth q-error %g should beat equi-width %g on skew", qd, qw)
+	}
+}
+
+func TestIndependentEstimatorErrsOnCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := makeTable(rng, 20000) // b ≈ a: strong correlation
+	est := NewIndependentEstimator(tab, 32)
+	preds := []Pred{{Col: "a", Lo: 0.4, Hi: 0.6}, {Col: "b", Lo: 0.4, Hi: 0.6}}
+	truth := tab.Selectivity(preds)
+	guess := est.Estimate(preds)
+	// AVI predicts ~0.04 but the truth is ~0.17: at least 2x off.
+	if QError(guess, truth) < 2 {
+		t.Fatalf("expected the independence assumption to fail: est %g vs truth %g", guess, truth)
+	}
+	// On the independent column, it should be accurate.
+	solo := []Pred{{Col: "c", Lo: 0.2, Hi: 0.5}}
+	if QError(est.Estimate(solo), tab.Selectivity(solo)) > 1.2 {
+		t.Fatal("single-attribute estimate should be accurate")
+	}
+}
+
+func TestQError(t *testing.T) {
+	if QError(10, 10) != 1 {
+		t.Fatal("perfect estimate should score 1")
+	}
+	if QError(1, 10) != 10 || QError(10, 1) != 10 {
+		t.Fatal("q-error should be symmetric")
+	}
+}
+
+func TestJoinGraphDPOptimalBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(4)
+		card := make([]float64, n)
+		for i := range card {
+			card[i] = math.Floor(100 + rng.Float64()*100000)
+		}
+		g := NewJoinGraph(card)
+		// Star schema: relation 0 is the fact table.
+		for i := 1; i < n; i++ {
+			g.SetSel(0, i, 1/card[i])
+		}
+		_, dpCost := g.DPOptimal()
+		_, greedyCost := g.GreedyOrder()
+		if dpCost > greedyCost*(1+1e-9) {
+			t.Fatalf("DP cost %g worse than greedy %g", dpCost, greedyCost)
+		}
+	}
+}
+
+func TestJoinPlanCostHandComputed(t *testing.T) {
+	g := NewJoinGraph([]float64{1000, 10, 100})
+	g.SetSel(0, 1, 0.01)
+	g.SetSel(0, 2, 0.001)
+	// Order [1,0,2]: intermediates: |1⋈0| = 10*1000*0.01 = 100;
+	// |1⋈0⋈2| = 10*1000*100*0.01*0.001 = 10. Cost = 110.
+	if got := g.PlanCost([]int{1, 0, 2}); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("plan cost %g, want 110", got)
+	}
+}
+
+func TestDPOptimalIsExhaustiveOptimalSmall(t *testing.T) {
+	g := NewJoinGraph([]float64{500, 2000, 50, 800})
+	g.SetSel(0, 1, 0.001)
+	g.SetSel(1, 2, 0.01)
+	g.SetSel(2, 3, 0.005)
+	_, dpCost := g.DPOptimal()
+	// Exhaustive over all 24 permutations.
+	best := math.Inf(1)
+	perm := []int{0, 1, 2, 3}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 4 {
+			if c := g.PlanCost(perm); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < 4; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if math.Abs(dpCost-best) > 1e-6*best {
+		t.Fatalf("DP cost %g != exhaustive optimum %g", dpCost, best)
+	}
+}

@@ -1,0 +1,124 @@
+package db
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func execTable(rng *rand.Rand, n int) *Table {
+	t := NewTable("t", "a", "b", "v")
+	for i := 0; i < n; i++ {
+		t.Append(rng.Float64(), rng.Float64(), rng.NormFloat64())
+	}
+	return t
+}
+
+func TestVectorizedMatchesTupleAtATime(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := execTable(rng, 20000)
+	preds := []Pred{{Col: "a", Lo: 0.2, Hi: 0.7}, {Col: "b", Lo: 0.1, Hi: 0.9}}
+	for _, agg := range []Agg{AggCount, AggSum, AggMean, AggMin, AggMax, AggStd} {
+		v := VectorizedQuery(tab, agg, "v", preds)
+		u := TupleAtATimeQuery(tab, agg, "v", preds)
+		if math.Abs(v-u) > 1e-9*math.Max(1, math.Abs(u)) {
+			t.Fatalf("agg %d: vectorized %g != tuple %g", agg, v, u)
+		}
+	}
+}
+
+func TestVectorizedMatchesTableAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := execTable(rng, 5000)
+	preds := []Pred{{Col: "a", Lo: 0.3, Hi: 0.6}}
+	for _, agg := range []Agg{AggCount, AggSum, AggMean, AggMin, AggMax} {
+		v := VectorizedQuery(tab, agg, "v", preds)
+		ref := tab.Aggregate(agg, "v", preds)
+		if math.Abs(v-ref) > 1e-9*math.Max(1, math.Abs(ref)) {
+			t.Fatalf("agg %d: vectorized %g != reference %g", agg, v, ref)
+		}
+	}
+}
+
+func TestVectorizedEmptyResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := execTable(rng, 1000)
+	preds := []Pred{{Col: "a", Lo: 5, Hi: 6}} // matches nothing
+	if got := VectorizedQuery(tab, AggCount, "v", preds); got != 0 {
+		t.Fatalf("count %g, want 0", got)
+	}
+	if got := VectorizedQuery(tab, AggMean, "v", preds); got != 0 {
+		t.Fatalf("mean of empty %g", got)
+	}
+}
+
+func TestScanBatchBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Exactly 2.5 batches.
+	tab := execTable(rng, batchSize*2+batchSize/2)
+	scan := NewScan(tab)
+	total := 0
+	batches := 0
+	for {
+		b := scan.Next()
+		if b == nil {
+			break
+		}
+		total += len(b.rows)
+		batches++
+		if len(b.rows) > batchSize {
+			t.Fatalf("batch too large: %d", len(b.rows))
+		}
+	}
+	if total != tab.Rows() || batches != 3 {
+		t.Fatalf("scan covered %d rows in %d batches", total, batches)
+	}
+}
+
+func TestFilterSkipsEmptyBatches(t *testing.T) {
+	// A table where only the last batch matches: Filter must keep pulling.
+	tab := NewTable("t", "a", "v")
+	n := batchSize*3 + 7
+	for i := 0; i < n; i++ {
+		a := 0.0
+		if i >= batchSize*3 {
+			a = 1.0
+		}
+		tab.Append(a, float64(i))
+	}
+	got := VectorizedQuery(tab, AggCount, "v", []Pred{{Col: "a", Lo: 0.5, Hi: 1.5}})
+	if got != 7 {
+		t.Fatalf("count %g, want 7", got)
+	}
+}
+
+// The vectorized engine should be measurably faster than tuple-at-a-time on
+// a large scan. Timing tests are inherently flaky, so demand only a modest
+// margin and use a generous workload.
+func TestVectorizedFasterThanTupleAtATime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rng := rand.New(rand.NewSource(5))
+	tab := execTable(rng, 400000)
+	preds := []Pred{{Col: "a", Lo: 0.2, Hi: 0.8}, {Col: "b", Lo: 0.2, Hi: 0.8}}
+	// Warm up.
+	VectorizedQuery(tab, AggMean, "v", preds)
+	TupleAtATimeQuery(tab, AggMean, "v", preds)
+
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		VectorizedQuery(tab, AggMean, "v", preds)
+	}
+	vec := time.Since(start)
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		TupleAtATimeQuery(tab, AggMean, "v", preds)
+	}
+	tuple := time.Since(start)
+	t.Logf("vectorized %v vs tuple-at-a-time %v (%.2fx)", vec, tuple, float64(tuple)/float64(vec))
+	if vec > tuple {
+		t.Fatalf("vectorized (%v) slower than tuple-at-a-time (%v)", vec, tuple)
+	}
+}

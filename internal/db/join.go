@@ -1,0 +1,162 @@
+package db
+
+import "math"
+
+// JoinGraph describes a join-ordering problem: n relations with base
+// cardinalities and pairwise join selectivities (1 where no join predicate
+// links a pair — a cross product).
+type JoinGraph struct {
+	Card []float64   // base cardinality of each relation
+	Sel  [][]float64 // Sel[i][j] = join selectivity between i and j
+}
+
+// NewJoinGraph creates a graph with all pairwise selectivities set to 1.
+func NewJoinGraph(card []float64) *JoinGraph {
+	n := len(card)
+	sel := make([][]float64, n)
+	for i := range sel {
+		sel[i] = make([]float64, n)
+		for j := range sel[i] {
+			sel[i][j] = 1
+		}
+	}
+	return &JoinGraph{Card: append([]float64(nil), card...), Sel: sel}
+}
+
+// SetSel sets the join selectivity between relations i and j (symmetric).
+func (g *JoinGraph) SetSel(i, j int, s float64) {
+	g.Sel[i][j] = s
+	g.Sel[j][i] = s
+}
+
+// N returns the relation count.
+func (g *JoinGraph) N() int { return len(g.Card) }
+
+// ResultSize returns the cardinality of joining the given set of relations
+// (product of base cardinalities times all intra-set selectivities).
+func (g *JoinGraph) ResultSize(set []int) float64 {
+	size := 1.0
+	for _, r := range set {
+		size *= g.Card[r]
+	}
+	for a := 0; a < len(set); a++ {
+		for b := a + 1; b < len(set); b++ {
+			size *= g.Sel[set[a]][set[b]]
+		}
+	}
+	return size
+}
+
+// PlanCost is the classical C_out cost of a left-deep join order: the sum
+// of all intermediate result sizes.
+func (g *JoinGraph) PlanCost(order []int) float64 {
+	if len(order) < 2 {
+		return 0
+	}
+	var cost float64
+	for k := 2; k <= len(order); k++ {
+		cost += g.ResultSize(order[:k])
+	}
+	return cost
+}
+
+// DPOptimal finds the minimum-cost left-deep join order by dynamic
+// programming over relation subsets (Selinger). Exponential in n; fine for
+// n ≤ ~16.
+func (g *JoinGraph) DPOptimal() (order []int, cost float64) {
+	n := g.N()
+	type entry struct {
+		cost float64
+		last int
+		prev uint32
+	}
+	dp := make(map[uint32]entry, 1<<n)
+	for i := 0; i < n; i++ {
+		dp[1<<i] = entry{cost: 0, last: i, prev: 0}
+	}
+	setSize := func(mask uint32) float64 {
+		var set []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, i)
+			}
+		}
+		return g.ResultSize(set)
+	}
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		if _, ok := dp[mask]; !ok && popcount(mask) == 1 {
+			continue
+		}
+		cur, ok := dp[mask]
+		if !ok {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			bit := uint32(1) << j
+			if mask&bit != 0 {
+				continue
+			}
+			next := mask | bit
+			c := cur.cost + setSize(next)
+			if e, ok := dp[next]; !ok || c < e.cost {
+				dp[next] = entry{cost: c, last: j, prev: mask}
+			}
+		}
+	}
+	full := uint32(1<<n) - 1
+	e := dp[full]
+	// Reconstruct.
+	order = make([]int, 0, n)
+	mask := full
+	for mask != 0 {
+		ee := dp[mask]
+		order = append(order, ee.last)
+		mask = ee.prev
+	}
+	// Reverse into join order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, e.cost
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// GreedyOrder builds a left-deep order by repeatedly appending the relation
+// that minimises the next intermediate size — the cheap heuristic learned
+// cost models are compared against.
+func (g *JoinGraph) GreedyOrder() (order []int, cost float64) {
+	n := g.N()
+	used := make([]bool, n)
+	// Start from the smallest relation.
+	best := 0
+	for i := 1; i < n; i++ {
+		if g.Card[i] < g.Card[best] {
+			best = i
+		}
+	}
+	order = []int{best}
+	used[best] = true
+	for len(order) < n {
+		bestJ, bestSize := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			size := g.ResultSize(append(append([]int(nil), order...), j))
+			if size < bestSize {
+				bestSize, bestJ = size, j
+			}
+		}
+		order = append(order, bestJ)
+		used[bestJ] = true
+	}
+	return order, g.PlanCost(order)
+}

@@ -1,0 +1,338 @@
+// Package distributed simulates data-parallel distributed training in a
+// single process, reproducing the communication-efficiency techniques of
+// Part 1 of the tutorial (§2.1): synchronous gradient averaging, Local SGD
+// (average parameters every H steps), top-k gradient sparsification with
+// error feedback, low-bit gradient quantization, and priority-based
+// parameter propagation. Worker replicas are exact and deterministic; the
+// network is replaced by byte accounting plus the analytic link model in
+// internal/device, which preserves the communication/accuracy tradeoffs the
+// real systems exhibit.
+package distributed
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dlsys/internal/device"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// Config controls a simulated distributed training run.
+type Config struct {
+	Workers   int
+	Arch      nn.MLPConfig
+	Epochs    int     // passes over the full (sharded) dataset
+	BatchSize int     // per-worker batch size
+	LR        float64 // plain SGD learning rate on every worker
+	// AveragePeriod is H in Local SGD: parameters are averaged across
+	// workers every H local steps. H=1 with no compression is exactly
+	// synchronous gradient averaging.
+	AveragePeriod int
+	// TopK, in (0, 1], is the fraction of gradient entries communicated
+	// per step (1 = dense). Only used when AveragePeriod == 1, i.e. the
+	// gradient-exchange regime. Dropped coordinates accumulate in a local
+	// error-feedback residual.
+	TopK float64
+	// QuantBits quantizes communicated gradient values to this many bits
+	// (0 or 32 disables). Applied after top-k selection.
+	QuantBits int
+	// NoErrorFeedback disables the error-feedback residual: coordinates
+	// dropped by top-k are discarded instead of accumulated for the next
+	// round. Exists for the ablation showing why error feedback matters.
+	NoErrorFeedback bool
+}
+
+// Stats reports what a run cost and how it progressed.
+type Stats struct {
+	BytesSent      int64     // total worker→server + server→worker traffic
+	AveragingRound int       // parameter/gradient exchanges performed
+	Steps          int       // per-worker optimizer steps
+	EpochLoss      []float64 // mean worker-0 loss per epoch
+}
+
+const wireBytesPerFloat = 4 // gradients/parameters travel as float32
+
+// Train runs the configured algorithm over x/y and returns the final
+// (consensus) model plus stats. Training is deterministic for a given seed.
+func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats) {
+	if cfg.Workers < 1 {
+		panic("distributed: need at least one worker")
+	}
+	if cfg.AveragePeriod < 1 {
+		cfg.AveragePeriod = 1
+	}
+	if cfg.TopK <= 0 || cfg.TopK > 1 {
+		cfg.TopK = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// All workers start from the same initialisation.
+	global := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
+	workers := make([]*worker, cfg.Workers)
+	shards := shardIndices(x.Dim(0), cfg.Workers)
+	for w := range workers {
+		net := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
+		net.SetParamVector(global.ParamVector())
+		workers[w] = &worker{
+			net:      net,
+			trainer:  nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(cfg.LR), rng),
+			shard:    shards[w],
+			residual: make([]float64, net.NumParams()),
+		}
+	}
+
+	var stats Stats
+	modelSize := global.NumParams()
+	stepsPerEpoch := (len(shards[0]) + cfg.BatchSize - 1) / cfg.BatchSize
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for w := range workers {
+			rng.Shuffle(len(workers[w].shard), func(i, j int) {
+				s := workers[w].shard
+				s[i], s[j] = s[j], s[i]
+			})
+		}
+		var epochLoss float64
+		for step := 0; step < stepsPerEpoch; step++ {
+			if cfg.AveragePeriod == 1 {
+				// Gradient-exchange regime (sync SGD, optionally compressed).
+				avgGrad := make([]float64, modelSize)
+				for _, wk := range workers {
+					bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
+					loss := wk.trainer.ComputeGrad(bx, by)
+					if wk == workers[0] {
+						epochLoss += loss
+					}
+					g := wk.net.GradVector()
+					residual := wk.residual
+					if cfg.NoErrorFeedback {
+						residual = nil
+					}
+					sent := compressGradient(g, residual, cfg.TopK, cfg.QuantBits)
+					stats.BytesSent += sent
+					for i := range avgGrad {
+						avgGrad[i] += g[i]
+					}
+				}
+				for i := range avgGrad {
+					avgGrad[i] /= float64(cfg.Workers)
+				}
+				// Broadcast of the averaged (already compressed) update.
+				stats.BytesSent += broadcastBytes(avgGrad, cfg)
+				for _, wk := range workers {
+					wk.net.SetGradVector(avgGrad)
+					wk.trainer.Opt.Step(wk.net.Params())
+					wk.net.PostStep()
+				}
+				stats.AveragingRound++
+			} else {
+				// Local SGD regime.
+				for _, wk := range workers {
+					bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
+					loss := wk.trainer.Step(bx, by)
+					if wk == workers[0] {
+						epochLoss += loss
+					}
+				}
+				globalStep := epoch*stepsPerEpoch + step + 1
+				if globalStep%cfg.AveragePeriod == 0 {
+					averageParams(workers)
+					// Up and down: every worker ships its full model and
+					// receives the average.
+					stats.BytesSent += int64(cfg.Workers) * 2 * int64(modelSize) * wireBytesPerFloat
+					stats.AveragingRound++
+				}
+			}
+			stats.Steps++
+		}
+		stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(stepsPerEpoch))
+	}
+	// Final consensus.
+	averageParams(workers)
+	global.SetParamVector(workers[0].net.ParamVector())
+	return global, stats
+}
+
+type worker struct {
+	net      *nn.Network
+	trainer  *nn.Trainer
+	shard    []int
+	residual []float64 // error-feedback accumulator for dropped coordinates
+}
+
+func (w *worker) nextBatch(x, y *tensor.Tensor, step, bs int) (*tensor.Tensor, *tensor.Tensor) {
+	start := (step * bs) % len(w.shard)
+	end := start + bs
+	if end > len(w.shard) {
+		end = len(w.shard)
+	}
+	return nn.GatherBatch(x, y, w.shard[start:end])
+}
+
+func shardIndices(n, workers int) [][]int {
+	shards := make([][]int, workers)
+	for i := 0; i < n; i++ {
+		w := i % workers
+		shards[w] = append(shards[w], i)
+	}
+	return shards
+}
+
+func averageParams(workers []*worker) {
+	avg := workers[0].net.ParamVector()
+	for _, wk := range workers[1:] {
+		v := wk.net.ParamVector()
+		for i := range avg {
+			avg[i] += v[i]
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(workers))
+	}
+	for _, wk := range workers {
+		wk.net.SetParamVector(avg)
+	}
+}
+
+// compressGradient applies error feedback + top-k + quantization to g IN
+// PLACE (so the averaged gradient reflects what was actually communicated)
+// and returns the bytes a real system would send for it. A nil residual
+// disables error feedback (dropped coordinates are lost).
+func compressGradient(g, residual []float64, topK float64, bits int) int64 {
+	// Error feedback: add back what previous rounds dropped.
+	if residual != nil {
+		for i := range g {
+			g[i] += residual[i]
+			residual[i] = 0
+		}
+	}
+	k := len(g)
+	if topK < 1 {
+		k = int(topK * float64(len(g)))
+		if k < 1 {
+			k = 1
+		}
+		// Select the k largest-magnitude coordinates.
+		idx := make([]int, len(g))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return math.Abs(g[idx[a]]) > math.Abs(g[idx[b]])
+		})
+		keep := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			keep[i] = true
+		}
+		for i := range g {
+			if !keep[i] {
+				if residual != nil {
+					residual[i] = g[i] // remember for next round
+				}
+				g[i] = 0
+			}
+		}
+	}
+	if bits > 0 && bits < 32 {
+		quantizeInPlace(g, bits)
+	}
+	valueBytes := int64(k) * wireBytesPerFloat
+	if bits > 0 && bits < 32 {
+		valueBytes = (int64(k)*int64(bits) + 7) / 8
+	}
+	indexBytes := int64(0)
+	if topK < 1 {
+		indexBytes = int64(k) * 4
+	}
+	return valueBytes + indexBytes
+}
+
+// quantizeInPlace applies symmetric linear quantization to the nonzero
+// entries of g.
+func quantizeInPlace(g []float64, bits int) {
+	var m float64
+	for _, v := range g {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return
+	}
+	levels := float64(int64(1)<<(bits-1) - 1)
+	if levels < 1 {
+		levels = 1
+	}
+	step := m / levels
+	for i, v := range g {
+		g[i] = math.Round(v/step) * step
+	}
+}
+
+// broadcastBytes accounts the server→workers traffic for the averaged
+// update under the same compression settings.
+func broadcastBytes(avg []float64, cfg Config) int64 {
+	nz := 0
+	for _, v := range avg {
+		if v != 0 {
+			nz++
+		}
+	}
+	per := int64(nz) * wireBytesPerFloat
+	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
+		per = (int64(nz)*int64(cfg.QuantBits) + 7) / 8
+	}
+	if cfg.TopK < 1 {
+		per += int64(nz) * 4
+	}
+	return per * int64(cfg.Workers)
+}
+
+// StepTimeModel computes the simulated per-step wall-clock time of
+// data-parallel training on the given device profile, with and without
+// priority-based parameter propagation (E8). With FIFO propagation the next
+// forward pass waits for the whole parameter transfer; priority propagation
+// ships the first layers first so the forward pass overlaps the tail of the
+// transfer, hiding most of the communication.
+func StepTimeModel(arch nn.MLPConfig, prof device.Profile, priority bool) float64 {
+	// Per-layer compute times and parameter bytes.
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, arch)
+	var layers []struct {
+		compute float64
+		bytes   int64
+	}
+	for _, l := range net.Layers {
+		var entry struct {
+			compute float64
+			bytes   int64
+		}
+		if fc, ok := l.(nn.FLOPsCounter); ok {
+			entry.compute = prof.ComputeTime(3*fc.FLOPs(32), 0.5)
+		}
+		for _, p := range l.Params() {
+			entry.bytes += int64(p.Value.Size()) * wireBytesPerFloat
+		}
+		layers = append(layers, entry)
+	}
+	bw := prof.LinkBandwidth
+	if !priority {
+		var transfer, compute float64
+		for _, e := range layers {
+			transfer += float64(e.bytes) / bw
+			compute += e.compute
+		}
+		return prof.LinkLatencyS + transfer + compute
+	}
+	// Priority: layer i's compute can start once layers 0..i have arrived.
+	var arrived float64 // time the i-th layer's params finish arriving
+	var done float64    // time the i-th layer's compute finishes
+	arrived = prof.LinkLatencyS
+	for _, e := range layers {
+		arrived += float64(e.bytes) / bw
+		start := math.Max(arrived, done)
+		done = start + e.compute
+	}
+	return done
+}

@@ -1,0 +1,216 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/nn"
+)
+
+func ensembleDataset(seed int64) (train, test *data.Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	ds := data.GaussianMixture(rng, 800, 6, 4, 2.5)
+	return ds.Split(rng, 0.8)
+}
+
+var testCfg = TrainConfig{
+	K:         3,
+	Arch:      nn.MLPConfig{In: 6, Hidden: []int{24, 24}, Out: 4},
+	Epochs:    24,
+	BatchSize: 32,
+	LR:        0.01,
+}
+
+func TestIndependentEnsembleBeatsSingleMember(t *testing.T) {
+	train, test := ensembleDataset(1)
+	y := nn.OneHot(train.Labels, 4)
+	res := TrainIndependent(10, train.X, y, testCfg)
+	ens := res.Committee.(*Ensemble)
+	if len(ens.Members) != 3 {
+		t.Fatalf("got %d members", len(ens.Members))
+	}
+	ensAcc := Accuracy(res.Committee, test.X, test.Labels)
+	memberAcc := ens.Members[0].Accuracy(test.X, test.Labels)
+	if ensAcc < memberAcc-0.02 {
+		t.Fatalf("ensemble %.3f below single member %.3f", ensAcc, memberAcc)
+	}
+	if ensAcc < 0.7 {
+		t.Fatalf("ensemble accuracy %.3f too low", ensAcc)
+	}
+}
+
+func TestSnapshotCheaperThanIndependent(t *testing.T) {
+	train, test := ensembleDataset(2)
+	y := nn.OneHot(train.Labels, 4)
+	ind := TrainIndependent(20, train.X, y, testCfg)
+	snap := TrainSnapshot(21, train.X, y, testCfg)
+	if snap.FLOPs >= ind.FLOPs {
+		t.Fatalf("snapshot FLOPs %d should undercut independent %d", snap.FLOPs, ind.FLOPs)
+	}
+	// Roughly K× cheaper.
+	if snap.FLOPs > ind.FLOPs/2 {
+		t.Fatalf("snapshot not much cheaper: %d vs %d", snap.FLOPs, ind.FLOPs)
+	}
+	if acc := Accuracy(snap.Committee, test.X, test.Labels); acc < 0.65 {
+		t.Fatalf("snapshot accuracy %.3f too low", acc)
+	}
+	if got := len(snap.Committee.(*Ensemble).Members); got != testCfg.K {
+		t.Fatalf("snapshot count %d != K", got)
+	}
+}
+
+func TestSnapshotMembersDiffer(t *testing.T) {
+	train, _ := ensembleDataset(3)
+	y := nn.OneHot(train.Labels, 4)
+	snap := TrainSnapshot(30, train.X, y, testCfg)
+	ms := snap.Committee.(*Ensemble).Members
+	v0 := ms[0].ParamVector()
+	v1 := ms[1].ParamVector()
+	same := true
+	for i := range v0 {
+		if v0[i] != v1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("snapshots should differ across cycles")
+	}
+}
+
+func TestFGEProducesAccurateCheapEnsemble(t *testing.T) {
+	train, test := ensembleDataset(4)
+	y := nn.OneHot(train.Labels, 4)
+	ind := TrainIndependent(40, train.X, y, testCfg)
+	fge := TrainFGE(41, train.X, y, testCfg)
+	if fge.FLOPs >= ind.FLOPs {
+		t.Fatalf("FGE FLOPs %d should undercut independent %d", fge.FLOPs, ind.FLOPs)
+	}
+	if acc := Accuracy(fge.Committee, test.X, test.Labels); acc < 0.65 {
+		t.Fatalf("FGE accuracy %.3f too low", acc)
+	}
+}
+
+func TestTreeNetSharesTrunkParams(t *testing.T) {
+	train, test := ensembleDataset(5)
+	y := nn.OneHot(train.Labels, 4)
+	res := TrainTreeNet(50, train.X, y, testCfg)
+	tnet := res.Committee.(*TreeNet)
+
+	// Shared trunk: fewer parameters than K independent networks.
+	single := nn.NewMLP(rand.New(rand.NewSource(1)), testCfg.Arch)
+	if tnet.NumParams() >= testCfg.K*single.NumParams() {
+		t.Fatalf("TreeNet params %d not below %d", tnet.NumParams(), testCfg.K*single.NumParams())
+	}
+	// Cheaper inference than K forwards.
+	if tnet.InferenceFLOPs(1) >= int64(testCfg.K)*single.FLOPs(1) {
+		t.Fatal("TreeNet inference not cheaper")
+	}
+	if acc := Accuracy(res.Committee, test.X, test.Labels); acc < 0.65 {
+		t.Fatalf("TreeNet accuracy %.3f too low", acc)
+	}
+}
+
+func TestMotherArchElementwiseMin(t *testing.T) {
+	members := []nn.MLPConfig{
+		{In: 6, Hidden: []int{32, 16}, Out: 4},
+		{In: 6, Hidden: []int{16, 24}, Out: 4},
+		{In: 6, Hidden: []int{24, 32}, Out: 4},
+	}
+	m := MotherArch(members)
+	if m.Hidden[0] != 16 || m.Hidden[1] != 16 {
+		t.Fatalf("mother hidden %v, want [16 16]", m.Hidden)
+	}
+}
+
+func TestMotherArchMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MotherArch([]nn.MLPConfig{
+		{In: 6, Hidden: []int{32}, Out: 4},
+		{In: 6, Hidden: []int{32, 16}, Out: 4},
+	})
+}
+
+func TestHatchPreservesMotherFunctionApproximately(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	train, _ := ensembleDataset(6)
+	motherCfg := nn.MLPConfig{In: 6, Hidden: []int{16, 16}, Out: 4}
+	mother := nn.NewMLP(rng, motherCfg)
+	tr := nn.NewTrainer(mother, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(train.X, nn.OneHot(train.Labels, 4), nn.TrainConfig{Epochs: 15, BatchSize: 32})
+
+	member := Hatch(rng, mother, nn.MLPConfig{In: 6, Hidden: []int{32, 32}, Out: 4})
+	// The hatched member should start much closer to the mother than a
+	// random network of the same architecture.
+	random := nn.NewMLP(rand.New(rand.NewSource(61)), nn.MLPConfig{In: 6, Hidden: []int{32, 32}, Out: 4})
+	x := train.X
+	disagree := func(n *nn.Network) float64 {
+		pm := mother.Predict(x)
+		pn := n.Predict(x)
+		d := 0
+		for i := range pm {
+			if pm[i] != pn[i] {
+				d++
+			}
+		}
+		return float64(d) / float64(len(pm))
+	}
+	if disagree(member) >= disagree(random) {
+		t.Fatalf("hatched member (%.3f disagreement) should be closer to mother than random (%.3f)",
+			disagree(member), disagree(random))
+	}
+}
+
+func TestMotherNetsCheaperThanIndependentHeterogeneous(t *testing.T) {
+	train, test := ensembleDataset(7)
+	y := nn.OneHot(train.Labels, 4)
+	members := []nn.MLPConfig{
+		{In: 6, Hidden: []int{24, 24}, Out: 4},
+		{In: 6, Hidden: []int{32, 24}, Out: 4},
+		{In: 6, Hidden: []int{24, 32}, Out: 4},
+	}
+	mres := TrainMotherNets(70, train.X, y, MotherNetsConfig{
+		Members: members, MotherEpochs: 12, FineTuneEpochs: 4, BatchSize: 32, LR: 0.01,
+	})
+	// Independent baseline trains each member for the full budget.
+	var indFLOPs int64
+	for k, arch := range members {
+		cfg := testCfg
+		cfg.Arch = arch
+		cfg.K = 1
+		r := TrainIndependent(int64(71+k), train.X, y, cfg)
+		indFLOPs += r.FLOPs
+	}
+	if mres.FLOPs >= indFLOPs {
+		t.Fatalf("MotherNets FLOPs %d should undercut independent %d", mres.FLOPs, indFLOPs)
+	}
+	if acc := Accuracy(mres.Committee, test.X, test.Labels); acc < 0.65 {
+		t.Fatalf("MotherNets accuracy %.3f too low", acc)
+	}
+}
+
+func TestCommitteeProbsAreDistributions(t *testing.T) {
+	train, _ := ensembleDataset(8)
+	y := nn.OneHot(train.Labels, 4)
+	cfg := testCfg
+	cfg.Epochs = 6
+	res := TrainIndependent(80, train.X, y, cfg)
+	probs := res.Committee.PredictProbs(train.X)
+	for i := 0; i < probs.Dim(0); i++ {
+		var s float64
+		for _, v := range probs.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatal("probability out of range")
+			}
+			s += v
+		}
+		if s < 0.999 || s > 1.001 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}

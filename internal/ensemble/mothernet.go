@@ -1,0 +1,114 @@
+package ensemble
+
+import (
+	"math/rand"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// MotherNetsConfig controls MotherNets training: a small shared "mother"
+// network capturing the structural intersection of the ensemble is trained
+// once, hatched into every (possibly heterogeneous) member by weight
+// transfer, and each member is fine-tuned briefly.
+type MotherNetsConfig struct {
+	// Members are the (possibly different) architectures of the ensemble.
+	// All must share input width, output width, and depth.
+	Members []nn.MLPConfig
+	// MotherEpochs trains the shared core; FineTuneEpochs polishes each
+	// hatched member. Their sum per member is far below a full training
+	// budget — that is the point of the technique.
+	MotherEpochs   int
+	FineTuneEpochs int
+	BatchSize      int
+	LR             float64
+}
+
+// MotherArch returns the mother architecture: the element-wise minimum of
+// the member hidden widths (the largest network structurally contained in
+// every member).
+func MotherArch(members []nn.MLPConfig) nn.MLPConfig {
+	if len(members) == 0 {
+		panic("ensemble: no members")
+	}
+	depth := len(members[0].Hidden)
+	mother := nn.MLPConfig{In: members[0].In, Out: members[0].Out, Hidden: make([]int, depth)}
+	copy(mother.Hidden, members[0].Hidden)
+	for _, m := range members[1:] {
+		if len(m.Hidden) != depth || m.In != mother.In || m.Out != mother.Out {
+			panic("ensemble: members must share depth, input, and output widths")
+		}
+		for i, h := range m.Hidden {
+			if h < mother.Hidden[i] {
+				mother.Hidden[i] = h
+			}
+		}
+	}
+	return mother
+}
+
+// Hatch transfers the mother's weights into a freshly initialised member
+// network: each Dense layer's top-left block is the mother's weight matrix
+// and the remaining entries keep their small random initialisation, so the
+// member starts close to the mother's function and fine-tunes from there.
+func Hatch(rng *rand.Rand, mother *nn.Network, memberArch nn.MLPConfig) *nn.Network {
+	member := nn.NewMLP(rng, memberArch)
+	// Scale down the fresh init so the copied block dominates initially.
+	for _, p := range member.Params() {
+		p.Value.ScaleInPlace(0.1)
+	}
+	md, xd := denseLayers(mother), denseLayers(member)
+	if len(md) != len(xd) {
+		panic("ensemble: hatch depth mismatch")
+	}
+	for li := range md {
+		mw, xw := md[li].W.Value, xd[li].W.Value
+		mIn, mOut := mw.Dim(0), mw.Dim(1)
+		for i := 0; i < mIn; i++ {
+			for j := 0; j < mOut; j++ {
+				xw.Set(mw.At(i, j), i, j)
+			}
+		}
+		mb, xb := md[li].B.Value, xd[li].B.Value
+		for j := 0; j < mOut; j++ {
+			xb.Set(mb.At(0, j), 0, j)
+		}
+	}
+	return member
+}
+
+func denseLayers(n *nn.Network) []*nn.Dense {
+	var ds []*nn.Dense
+	for _, l := range n.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// TrainMotherNets runs the full MotherNets pipeline and returns the trained
+// committee with aggregate cost.
+func TrainMotherNets(seed int64, x, y *tensor.Tensor, cfg MotherNetsConfig) Result {
+	rng := rand.New(rand.NewSource(seed))
+	motherCfg := MotherArch(cfg.Members)
+	mother := nn.NewMLP(rng, motherCfg)
+	mtr := nn.NewTrainer(mother, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(cfg.LR), rng)
+	stats := mtr.Fit(x, y, nn.TrainConfig{Epochs: cfg.MotherEpochs, BatchSize: cfg.BatchSize})
+
+	var res Result
+	res.FLOPs += stats.FLOPs
+	res.Steps += stats.Steps
+	ens := &Ensemble{}
+	for k, arch := range cfg.Members {
+		krng := rand.New(rand.NewSource(seed + int64(k)*7919))
+		member := Hatch(krng, mother, arch)
+		tr := nn.NewTrainer(member, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(cfg.LR/2), krng)
+		s := tr.Fit(x, y, nn.TrainConfig{Epochs: cfg.FineTuneEpochs, BatchSize: cfg.BatchSize})
+		res.FLOPs += s.FLOPs
+		res.Steps += s.Steps
+		ens.Members = append(ens.Members, member)
+	}
+	res.Committee = ens
+	return res
+}

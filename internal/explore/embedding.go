@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// Embedder extracts a learned representation from a trained classifier's
+// hidden layer and uses it for cosine-similarity search — the
+// "deep data embeddings enhance similarity search" claim of Part 2.
+type Embedder struct {
+	net      *nn.Network
+	cutLayer int // embed = output of Layers[cutLayer]
+}
+
+// NewEmbedder wraps a trained network, embedding at the given layer index.
+func NewEmbedder(net *nn.Network, cutLayer int) *Embedder {
+	return &Embedder{net: net, cutLayer: cutLayer}
+}
+
+// Embed maps a batch of rows into embedding space.
+func (e *Embedder) Embed(x *tensor.Tensor) *tensor.Tensor {
+	h := x
+	for i := 0; i <= e.cutLayer; i++ {
+		h = e.net.Layers[i].Forward(h, false)
+	}
+	return h
+}
+
+// CosineKNN returns the indices of the k nearest rows of corpus to query
+// row q by cosine similarity.
+func CosineKNN(corpus *tensor.Tensor, q []float64, k int, excludeSelf int) []int {
+	type scored struct {
+		idx int
+		sim float64
+	}
+	var all []scored
+	qn := norm(q)
+	for i := 0; i < corpus.Dim(0); i++ {
+		if i == excludeSelf {
+			continue
+		}
+		row := corpus.Row(i)
+		s := dot(row, q) / (norm(row)*qn + 1e-12)
+		all = append(all, scored{i, s})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].sim > all[b].sim })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// PrecisionAtK measures retrieval quality: the average fraction of each
+// row's k nearest neighbours (in the given representation) that share the
+// row's label.
+func PrecisionAtK(repr *tensor.Tensor, labels []int, k int) float64 {
+	var total float64
+	n := repr.Dim(0)
+	for i := 0; i < n; i++ {
+		nbrs := CosineKNN(repr, repr.Row(i), k, i)
+		hit := 0
+		for _, j := range nbrs {
+			if labels[j] == labels[i] {
+				hit++
+			}
+		}
+		total += float64(hit) / float64(len(nbrs))
+	}
+	return total / float64(n)
+}
+
+// RingsDataset generates entities on concentric rings: the latent class is
+// the radius band, while the raw 2-D coordinates point in random
+// directions — cosine similarity on raw attributes is uninformative, but a
+// trained classifier's hidden layer recovers the class structure.
+func RingsDataset(rng *rand.Rand, n, classes int, noise float64) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		radius := 1 + float64(c)*1.5 + noise*rng.NormFloat64()
+		theta := 2 * math.Pi * rng.Float64()
+		x.Data[i*2] = radius * math.Cos(theta)
+		x.Data[i*2+1] = radius * math.Sin(theta)
+	}
+	return x, labels
+}
+
+// TrainRingEmbedder trains a classifier on the rings data and returns an
+// embedder at its last hidden activation.
+func TrainRingEmbedder(rng *rand.Rand, x *tensor.Tensor, labels []int, classes, epochs int) *Embedder {
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 2, Hidden: []int{32, 16}, Out: classes})
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(x, nn.OneHot(labels, classes), nn.TrainConfig{Epochs: epochs, BatchSize: 32})
+	// Layers: fc0, relu0, fc1, relu1, fc2 → embed at relu1 (index 3).
+	return NewEmbedder(net, 3)
+}

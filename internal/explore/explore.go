@@ -1,0 +1,211 @@
+// Package explore implements the data-exploration techniques surveyed in
+// Part 2 of the tutorial: a reinforcement-learning agent that guides an
+// exploration session over a column store toward "interesting" views
+// (ATENA-style), learned entity embeddings that enhance similarity search,
+// and an autoencoder-based tabular compressor (DeepSqueeze/Bit-Swap-style)
+// benchmarked against a classical quantize+Huffman baseline.
+package explore
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/db"
+)
+
+// ViewGrid is an exploration session's search space: a 2-D lattice of
+// candidate views over a table (aggregate of one column grouped and
+// filtered by another). Each cell's interestingness is the normalised
+// deviation of the view's statistics from the table's global behaviour.
+type ViewGrid struct {
+	Rows, Cols    int
+	scores        [][]float64
+	evaluated     [][]bool
+	evalCount     int
+	table         *db.Table
+	filterColName string
+	groupCol      string
+	valCol        string
+	rowQuants     []float64 // filter bucket bounds per grid row
+	colBuckets    []float64 // group bucket widths per grid column
+}
+
+// NewViewGrid builds the candidate-view lattice: rows filter the table to a
+// quantile slice of filterCol; columns vary the group-by bucket width on
+// groupCol. The aggregate inspected is the mean of valCol per group.
+func NewViewGrid(t *db.Table, filterCol, groupCol, valCol string, rows, cols int) *ViewGrid {
+	g := &ViewGrid{
+		Rows: rows, Cols: cols,
+		table:    t,
+		groupCol: groupCol,
+		valCol:   valCol,
+	}
+	g.rowQuants = t.ColumnQuantiles(filterCol, rows)
+	g.colBuckets = make([]float64, cols)
+	q := t.ColumnQuantiles(groupCol, 1)
+	span := q[len(q)-1] - q[0]
+	if span <= 0 {
+		span = 1
+	}
+	for c := 0; c < cols; c++ {
+		g.colBuckets[c] = span / float64(int(4)<<uint(c)) // geometrically finer buckets
+	}
+	g.scores = make([][]float64, rows)
+	g.evaluated = make([][]bool, rows)
+	for r := range g.scores {
+		g.scores[r] = make([]float64, cols)
+		g.evaluated[r] = make([]bool, cols)
+	}
+	g.filterColName = filterCol
+	return g
+}
+
+// Score evaluates view (r, c), issuing the underlying queries on first
+// access and caching afterwards. Interestingness is the coefficient of
+// variation of the view's group means — flat views are boring, views where
+// groups differ strongly are insights.
+func (g *ViewGrid) Score(r, c int) float64 {
+	if g.evaluated[r][c] {
+		return g.scores[r][c]
+	}
+	g.evaluated[r][c] = true
+	g.evalCount++
+	lo, hi := g.rowQuants[r], g.rowQuants[r+1]
+	sub := filterTable(g.table, g.filterColName, lo, hi)
+	if sub.Rows() < 4 {
+		return 0
+	}
+	means := sub.GroupMeans(g.groupCol, g.valCol, g.colBuckets[c])
+	if len(means) < 2 {
+		return 0
+	}
+	var sum, n float64
+	for _, m := range means {
+		sum += m
+		n++
+	}
+	mu := sum / n
+	var v float64
+	for _, m := range means {
+		v += (m - mu) * (m - mu)
+	}
+	sd := math.Sqrt(v / n)
+	score := sd / (math.Abs(mu) + 1e-9)
+	if score > 1 {
+		score = 1
+	}
+	g.scores[r][c] = score
+	return score
+}
+
+// Evaluations returns how many distinct views have been queried so far.
+func (g *ViewGrid) Evaluations() int { return g.evalCount }
+
+// MaxScore evaluates every view (exhaustively) and returns the maximum.
+// Intended for computing the ground truth when sizing experiments.
+func (g *ViewGrid) MaxScore() float64 {
+	best := 0.0
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			if s := g.Score(r, c); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func filterTable(t *db.Table, col string, lo, hi float64) *db.Table {
+	out := db.NewTable(t.Name+"_f", t.Columns()...)
+	cols := t.Columns()
+	vals := make([]float64, len(cols))
+	cdata := make([][]float64, len(cols))
+	for i, c := range cols {
+		cdata[i] = t.Column(c)
+	}
+	f := t.Column(col)
+	for r := 0; r < t.Rows(); r++ {
+		if f[r] < lo || f[r] > hi {
+			continue
+		}
+		for i := range cols {
+			vals[i] = cdata[i][r]
+		}
+		out.Append(vals...)
+	}
+	return out
+}
+
+// SessionResult reports an exploration run.
+type SessionResult struct {
+	BestScore    float64
+	QueriesToHit int // evaluations until reaching the target (0 if never)
+}
+
+// RandomWalk explores by uniformly random view hops — the unguided-analyst
+// baseline.
+func RandomWalk(rng *rand.Rand, g *ViewGrid, steps int, target float64) SessionResult {
+	var res SessionResult
+	for s := 0; s < steps; s++ {
+		r, c := rng.Intn(g.Rows), rng.Intn(g.Cols)
+		score := g.Score(r, c)
+		if score > res.BestScore {
+			res.BestScore = score
+		}
+		if res.QueriesToHit == 0 && score >= target {
+			res.QueriesToHit = g.Evaluations()
+		}
+	}
+	return res
+}
+
+// QLearnExplore trains a Q-learning agent that moves between neighbouring
+// views (the structure real exploration sessions have: analysts drill
+// in/out and slide filters). The agent learns which direction of the lattice
+// is promising and reaches high-interest views in fewer distinct queries.
+func QLearnExplore(rng *rand.Rand, g *ViewGrid, episodes, stepsPerEpisode int, target float64) SessionResult {
+	type state [2]int
+	q := map[state][4]float64{}
+	moves := [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	var res SessionResult
+	for ep := 0; ep < episodes; ep++ {
+		cur := state{rng.Intn(g.Rows), rng.Intn(g.Cols)}
+		for s := 0; s < stepsPerEpisode; s++ {
+			var a int
+			if rng.Float64() < 0.25 {
+				a = rng.Intn(4)
+			} else {
+				qs := q[cur]
+				a = 0
+				for i := 1; i < 4; i++ {
+					if qs[i] > qs[a] {
+						a = i
+					}
+				}
+			}
+			next := state{cur[0] + moves[a][0], cur[1] + moves[a][1]}
+			if next[0] < 0 || next[0] >= g.Rows || next[1] < 0 || next[1] >= g.Cols {
+				continue
+			}
+			score := g.Score(next[0], next[1])
+			if score > res.BestScore {
+				res.BestScore = score
+			}
+			if res.QueriesToHit == 0 && score >= target {
+				res.QueriesToHit = g.Evaluations()
+			}
+			qs := q[cur]
+			nq := q[next]
+			maxNext := nq[0]
+			for i := 1; i < 4; i++ {
+				if nq[i] > maxNext {
+					maxNext = nq[i]
+				}
+			}
+			qs[a] += 0.4 * (score + 0.8*maxNext - qs[a])
+			q[cur] = qs
+			cur = next
+		}
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GroupCalibration measures, per group, the expected calibration error of
+// positive-class scores against labels: scores are bucketed and each
+// bucket's mean score is compared with its empirical positive rate.
+// A well-calibrated model has low ECE in BOTH groups; a gap between groups
+// is itself a fairness failure (the tutorial's "equitable predictions
+// across all groups").
+type GroupCalibration struct {
+	ECE [2]float64
+}
+
+// Gap returns |ECE₀ − ECE₁|.
+func (c GroupCalibration) Gap() float64 { return math.Abs(c.ECE[0] - c.ECE[1]) }
+
+// Calibration computes per-group expected calibration error with the given
+// number of equal-width score buckets.
+func Calibration(scores []float64, labels, group []int, buckets int) GroupCalibration {
+	var out GroupCalibration
+	for g := 0; g < 2; g++ {
+		sumScore := make([]float64, buckets)
+		sumLabel := make([]float64, buckets)
+		count := make([]float64, buckets)
+		var n float64
+		for i, s := range scores {
+			if group[i] != g {
+				continue
+			}
+			b := int(s * float64(buckets))
+			if b == buckets {
+				b--
+			}
+			sumScore[b] += s
+			sumLabel[b] += float64(labels[i])
+			count[b]++
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		var ece float64
+		for b := 0; b < buckets; b++ {
+			if count[b] == 0 {
+				continue
+			}
+			conf := sumScore[b] / count[b]
+			acc := sumLabel[b] / count[b]
+			ece += count[b] / n * math.Abs(conf-acc)
+		}
+		out.ECE[g] = ece
+	}
+	return out
+}
+
+// PreferentialSample returns example indices resampled (with replacement)
+// so that label and group are statistically independent — the sampling
+// counterpart of Reweigh for training APIs that cannot take weights. The
+// output has the same length as the input data.
+func PreferentialSample(rng *rand.Rand, labels, group []int) []int {
+	w := Reweigh(labels, group)
+	// Build the cumulative distribution over examples ∝ weights.
+	cum := make([]float64, len(w))
+	var total float64
+	for i, v := range w {
+		total += v
+		cum[i] = total
+	}
+	out := make([]int, len(w))
+	for i := range out {
+		r := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/nn"
+)
+
+func TestCalibrationPerfectScores(t *testing.T) {
+	// Scores equal to the true positive probability per bucket → ECE ~ 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	group := make([]int, n)
+	for i := range scores {
+		p := rng.Float64()
+		scores[i] = p
+		if rng.Float64() < p {
+			labels[i] = 1
+		}
+		group[i] = i % 2
+	}
+	c := Calibration(scores, labels, group, 10)
+	if c.ECE[0] > 0.03 || c.ECE[1] > 0.03 {
+		t.Fatalf("perfectly calibrated scores got ECE %v", c.ECE)
+	}
+	if c.Gap() > 0.02 {
+		t.Fatalf("gap %g should be ~0", c.Gap())
+	}
+}
+
+func TestCalibrationDetectsGroupMiscalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	group := make([]int, n)
+	for i := range scores {
+		p := rng.Float64()
+		group[i] = i % 2
+		if group[i] == 0 {
+			scores[i] = p
+		} else {
+			// Systematically overconfident for group 1.
+			scores[i] = math.Min(p+0.3, 1)
+		}
+		if rng.Float64() < p {
+			labels[i] = 1
+		}
+	}
+	c := Calibration(scores, labels, group, 10)
+	if c.ECE[1] <= c.ECE[0]+0.1 {
+		t.Fatalf("mis-calibration not detected: %v", c.ECE)
+	}
+	if c.Gap() < 0.1 {
+		t.Fatalf("gap %g too small", c.Gap())
+	}
+}
+
+func TestPreferentialSampleRestoresIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := data.BiasedCensus(rng, data.CensusConfig{N: 8000, Bias: 0.7})
+	idx := PreferentialSample(rng, c.Labels, c.Group)
+	if len(idx) != c.N() {
+		t.Fatalf("sample size %d", len(idx))
+	}
+	var pos, n [2]float64
+	for _, i := range idx {
+		g := c.Group[i]
+		n[g]++
+		pos[g] += float64(c.Labels[i])
+	}
+	gap := math.Abs(pos[0]/n[0] - pos[1]/n[1])
+	if gap > 0.04 {
+		t.Fatalf("resampled positive-rate gap %g, want ~0", gap)
+	}
+}
+
+func TestPreferentialSamplingTrainsFairerModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := data.BiasedCensus(rng, data.CensusConfig{N: 8000, Bias: 0.8})
+	train, test := c.SplitCensus(rng, 0.7)
+
+	base := nn.NewMLP(rng, nn.MLPConfig{In: 5, Hidden: []int{16}, Out: 2})
+	nn.NewTrainer(base, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng).
+		Fit(train.X, nn.OneHot(train.Labels, 2), nn.TrainConfig{Epochs: 20, BatchSize: 64})
+	rBase := Evaluate(base.Predict(test.X), test.TrueMerit, test.Group)
+
+	idx := PreferentialSample(rng, train.Labels, train.Group)
+	resampled := train.Subset(idx)
+	resLabels := make([]int, len(idx))
+	for i, j := range idx {
+		resLabels[i] = train.Labels[j]
+	}
+	fair := nn.NewMLP(rng, nn.MLPConfig{In: 5, Hidden: []int{16}, Out: 2})
+	nn.NewTrainer(fair, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng).
+		Fit(resampled.X, nn.OneHot(resLabels, 2), nn.TrainConfig{Epochs: 20, BatchSize: 64})
+	rFair := Evaluate(fair.Predict(test.X), test.TrueMerit, test.Group)
+
+	t.Logf("gap: baseline %.3f -> preferential sampling %.3f", rBase.DemographicParityGap(), rFair.DemographicParityGap())
+	if rFair.DemographicParityGap() >= rBase.DemographicParityGap() {
+		t.Fatalf("sampling did not shrink the gap: %.3f vs %.3f",
+			rFair.DemographicParityGap(), rBase.DemographicParityGap())
+	}
+}

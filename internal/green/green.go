@@ -1,0 +1,160 @@
+// Package green implements the environmental-impact tooling of Part 3.3 of
+// the tutorial: a carbon-footprint calculator in the style of the ML
+// Emissions Calculator / Green Algorithms (energy from measured FLOPs and
+// hardware power, datacenter PUE, regional grid carbon intensity), and a
+// carbon-aware job scheduler compared against a placement-oblivious
+// baseline.
+package green
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsys/internal/device"
+)
+
+// Region describes a datacenter location's grid. Intensity values are
+// public order-of-magnitude figures (gCO2e per kWh); the calculator logic,
+// not the constants, is the artifact.
+type Region struct {
+	Name      string
+	Intensity float64 // gCO2e/kWh
+	PUE       float64 // datacenter power usage effectiveness
+}
+
+// Representative regions, spanning the ~20× spread in grid intensity that
+// makes placement matter.
+var (
+	Hydro     = Region{Name: "hydro-north", Intensity: 20, PUE: 1.1}
+	WindSolar = Region{Name: "wind-solar", Intensity: 80, PUE: 1.15}
+	MixedEU   = Region{Name: "mixed-eu", Intensity: 300, PUE: 1.3}
+	MixedUS   = Region{Name: "mixed-us", Intensity: 420, PUE: 1.4}
+	CoalHeavy = Region{Name: "coal-heavy", Intensity: 800, PUE: 1.6}
+)
+
+// Regions lists the built-in catalogue.
+func Regions() []Region { return []Region{Hydro, WindSolar, MixedEU, MixedUS, CoalHeavy} }
+
+// Footprint is a training run's environmental bill.
+type Footprint struct {
+	Hours      float64 // wall-clock hours on the device
+	EnergyKWh  float64 // device energy including PUE overhead
+	CO2Grams   float64
+	Device     string
+	RegionName string
+}
+
+// Estimate computes the footprint of executing the given FLOPs on a device
+// in a region at the given utilisation efficiency.
+func Estimate(flops int64, prof device.Profile, region Region, efficiency float64) Footprint {
+	seconds := prof.ComputeTime(flops, efficiency)
+	joules := prof.Watts * seconds
+	kwh := joules / 3.6e6 * region.PUE
+	return Footprint{
+		Hours:      seconds / 3600,
+		EnergyKWh:  kwh,
+		CO2Grams:   kwh * region.Intensity,
+		Device:     prof.Name,
+		RegionName: region.Name,
+	}
+}
+
+// String renders the footprint like the emissions calculators the tutorial
+// cites.
+func (f Footprint) String() string {
+	return fmt.Sprintf("%s@%s: %.3f h, %.4f kWh, %.1f gCO2e",
+		f.Device, f.RegionName, f.Hours, f.EnergyKWh, f.CO2Grams)
+}
+
+// Job is a unit of training work for the scheduler.
+type Job struct {
+	Name  string
+	FLOPs int64
+}
+
+// Slot is an available (device, region) pair with a capacity in device-
+// hours.
+type Slot struct {
+	Device        device.Profile
+	Region        Region
+	CapacityHours float64
+}
+
+// Assignment maps a job to a slot with its resulting footprint.
+type Assignment struct {
+	Job  Job
+	Slot int
+	Footprint
+}
+
+// ScheduleNaive assigns jobs to slots round-robin, ignoring carbon —
+// the placement-oblivious baseline. Returns assignments and total gCO2e.
+// Jobs that exceed a slot's remaining capacity spill to the next slot.
+func ScheduleNaive(jobs []Job, slots []Slot) ([]Assignment, float64) {
+	order := make([]int, len(slots))
+	for i := range order {
+		order[i] = i
+	}
+	return schedule(jobs, slots, order, true)
+}
+
+// ScheduleCarbonAware greedily fills the cleanest (lowest gCO2e per FLOP)
+// slots first. Returns assignments and total gCO2e.
+func ScheduleCarbonAware(jobs []Job, slots []Slot) ([]Assignment, float64) {
+	order := make([]int, len(slots))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return co2PerFLOP(slots[order[a]]) < co2PerFLOP(slots[order[b]])
+	})
+	return schedule(jobs, slots, order, false)
+}
+
+func co2PerFLOP(s Slot) float64 {
+	// gCO2 per FLOP = W/(FLOPs/s·eff) / 3.6e6 · PUE · intensity
+	const eff = 0.5
+	return s.Device.Watts / (s.Device.FLOPsPerSec * eff) / 3.6e6 * s.Region.PUE * s.Region.Intensity
+}
+
+// schedule places each job into the first slot (in the given preference
+// order) with remaining capacity. With roundRobin the cursor advances after
+// every placement (spreading load); otherwise the cleanest slots fill up
+// first. Jobs that fit nowhere are charged to the last slot in the order so
+// both policies pay for identical work.
+func schedule(jobs []Job, slots []Slot, order []int, roundRobin bool) ([]Assignment, float64) {
+	remaining := make([]float64, len(slots))
+	for i, s := range slots {
+		remaining[i] = s.CapacityHours
+	}
+	var out []Assignment
+	var total float64
+	const eff = 0.5
+	cursor := 0
+	for _, job := range jobs {
+		placed := false
+		for tries := 0; tries < len(order); tries++ {
+			si := order[(cursor+tries)%len(order)]
+			hours := slots[si].Device.ComputeTime(job.FLOPs, eff) / 3600
+			if hours > remaining[si] {
+				continue
+			}
+			remaining[si] -= hours
+			fp := Estimate(job.FLOPs, slots[si].Device, slots[si].Region, eff)
+			out = append(out, Assignment{Job: job, Slot: si, Footprint: fp})
+			total += fp.CO2Grams
+			placed = true
+			if roundRobin {
+				cursor = (cursor + tries + 1) % len(order)
+			}
+			break
+		}
+		if !placed {
+			si := order[len(order)-1]
+			fp := Estimate(job.FLOPs, slots[si].Device, slots[si].Region, eff)
+			out = append(out, Assignment{Job: job, Slot: si, Footprint: fp})
+			total += fp.CO2Grams
+		}
+	}
+	return out, total
+}

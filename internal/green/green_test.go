@@ -1,0 +1,189 @@
+package green
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dlsys/internal/device"
+)
+
+func TestEstimatePhysics(t *testing.T) {
+	// 1e15 FLOPs at 50% of 1e12 FLOPs/s = 2000 s on the edge profile.
+	fp := Estimate(1e15, device.EdgeDevice, MixedUS, 0.5)
+	wantHours := 2000.0 / 3600
+	if math.Abs(fp.Hours-wantHours) > 1e-9 {
+		t.Fatalf("hours %g, want %g", fp.Hours, wantHours)
+	}
+	wantKWh := 5.0 * 2000 / 3.6e6 * MixedUS.PUE
+	if math.Abs(fp.EnergyKWh-wantKWh) > 1e-12 {
+		t.Fatalf("energy %g, want %g", fp.EnergyKWh, wantKWh)
+	}
+	if math.Abs(fp.CO2Grams-wantKWh*MixedUS.Intensity) > 1e-9 {
+		t.Fatalf("CO2 %g", fp.CO2Grams)
+	}
+	if !strings.Contains(fp.String(), "gCO2e") {
+		t.Fatal("String() should render the footprint")
+	}
+}
+
+func TestRegionSpreadAtLeastTenX(t *testing.T) {
+	var lo, hi float64 = math.Inf(1), 0
+	for _, r := range Regions() {
+		fp := Estimate(1e18, device.GPULarge, r, 0.5)
+		if fp.CO2Grams < lo {
+			lo = fp.CO2Grams
+		}
+		if fp.CO2Grams > hi {
+			hi = fp.CO2Grams
+		}
+	}
+	if hi/lo < 10 {
+		t.Fatalf("region spread %.1fx, want >= 10x", hi/lo)
+	}
+}
+
+func TestFootprintGrowsWithModelFLOPs(t *testing.T) {
+	prev := 0.0
+	for _, flops := range []int64{1e12, 1e14, 1e16} {
+		fp := Estimate(flops, device.GPUSmall, MixedEU, 0.5)
+		if fp.CO2Grams <= prev {
+			t.Fatal("CO2 should grow with FLOPs")
+		}
+		prev = fp.CO2Grams
+	}
+}
+
+func testSlots() []Slot {
+	return []Slot{
+		{Device: device.GPULarge, Region: CoalHeavy, CapacityHours: 1000},
+		{Device: device.GPULarge, Region: Hydro, CapacityHours: 1000},
+		{Device: device.GPUSmall, Region: MixedUS, CapacityHours: 1000},
+	}
+}
+
+func testJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: "job", FLOPs: 1e17}
+	}
+	return jobs
+}
+
+func TestCarbonAwareBeatsNaive(t *testing.T) {
+	jobs := testJobs(9)
+	_, naive := ScheduleNaive(jobs, testSlots())
+	_, aware := ScheduleCarbonAware(jobs, testSlots())
+	if aware >= naive/2 {
+		t.Fatalf("carbon-aware %.1f g should be at least 2x below naive %.1f g", aware, naive)
+	}
+}
+
+func TestSchedulersPlaceAllJobs(t *testing.T) {
+	jobs := testJobs(7)
+	a1, _ := ScheduleNaive(jobs, testSlots())
+	a2, _ := ScheduleCarbonAware(jobs, testSlots())
+	if len(a1) != 7 || len(a2) != 7 {
+		t.Fatalf("assignments %d / %d, want 7", len(a1), len(a2))
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	slots := []Slot{
+		{Device: device.GPULarge, Region: Hydro, CapacityHours: 0.5},
+		{Device: device.GPULarge, Region: CoalHeavy, CapacityHours: 1000},
+	}
+	// Each job ~0.37 h on GPULarge at eff 0.5: only one fits in hydro.
+	jobs := testJobs(4)
+	assigns, _ := ScheduleCarbonAware(jobs, slots)
+	hydroHours := 0.0
+	for _, a := range assigns {
+		if a.Slot == 0 {
+			hydroHours += a.Hours
+		}
+	}
+	if hydroHours > 0.5+1e-9 {
+		t.Fatalf("hydro capacity exceeded: %g h", hydroHours)
+	}
+}
+
+func TestCleanestSlotFillsFirst(t *testing.T) {
+	jobs := testJobs(2)
+	assigns, _ := ScheduleCarbonAware(jobs, testSlots())
+	for _, a := range assigns {
+		if a.RegionName != Hydro.Name {
+			t.Fatalf("job placed in %s before hydro was full", a.RegionName)
+		}
+	}
+}
+
+func TestDiurnalCurveShape(t *testing.T) {
+	curve := DiurnalCurve(MixedUS, 0.5)
+	midday := curve(13)
+	midnight := curve(1)
+	if midday >= midnight {
+		t.Fatalf("midday intensity %g should be below midnight %g on a solar grid", midday, midnight)
+	}
+	if midnight != MixedUS.Intensity {
+		t.Fatalf("night intensity %g should equal base %g", midnight, MixedUS.Intensity)
+	}
+	// Periodic.
+	if math.Abs(curve(13)-curve(13+24)) > 1e-9 {
+		t.Fatal("curve not periodic")
+	}
+}
+
+func TestDiurnalCurveBadShare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DiurnalCurve(MixedUS, 1.0)
+}
+
+func TestBestWindowPrefersMidday(t *testing.T) {
+	curve := DiurnalCurve(MixedUS, 0.6)
+	job := DeferrableJob{Name: "train", DurationHours: 2, DeadlineHour: 24, EnergyKWh: 10}
+	start, co2 := BestWindow(curve, job)
+	// Optimal 2h window should straddle the 13:00 solar peak.
+	if start < 10 || start > 14 {
+		t.Fatalf("best start %g not near midday", start)
+	}
+	if immediate := WindowCO2(curve, job, 0); co2 >= immediate {
+		t.Fatalf("shifted emissions %g should beat immediate %g", co2, immediate)
+	}
+}
+
+func TestBestWindowRespectsDeadline(t *testing.T) {
+	curve := DiurnalCurve(MixedUS, 0.6)
+	// Deadline before the solar peak: the job cannot wait for midday.
+	job := DeferrableJob{DurationHours: 2, DeadlineHour: 6, EnergyKWh: 10}
+	start, _ := BestWindow(curve, job)
+	if start+job.DurationHours > job.DeadlineHour+1e-9 {
+		t.Fatalf("window [%g, %g] misses deadline %g", start, start+job.DurationHours, job.DeadlineHour)
+	}
+	// Duration exceeding the deadline: starts immediately.
+	tight := DeferrableJob{DurationHours: 8, DeadlineHour: 4, EnergyKWh: 1}
+	if s, _ := BestWindow(curve, tight); s != 0 {
+		t.Fatalf("infeasible deadline should start at 0, got %g", s)
+	}
+}
+
+func TestTemporalSavingsPositiveForFlexibleJobs(t *testing.T) {
+	curve := DiurnalCurve(CoalHeavy, 0.5)
+	jobs := []DeferrableJob{
+		{Name: "nightly-train", DurationHours: 3, DeadlineHour: 24, EnergyKWh: 50},
+		{Name: "batch-eval", DurationHours: 1, DeadlineHour: 20, EnergyKWh: 5},
+		{Name: "urgent", DurationHours: 2, DeadlineHour: 2, EnergyKWh: 8},
+	}
+	immediate, shifted := TemporalSavings(curve, jobs)
+	if shifted >= immediate {
+		t.Fatalf("temporal shifting saved nothing: %g vs %g", shifted, immediate)
+	}
+	// Jobs start at hour 0 (night): deferring to midday should cut the
+	// flexible jobs' emissions substantially.
+	if shifted > immediate*0.85 {
+		t.Fatalf("savings too small: %g vs %g", shifted, immediate)
+	}
+}

@@ -1,0 +1,87 @@
+package green
+
+import "math"
+
+// Temporal carbon-aware scheduling: §4.3 cites Google's practice of
+// shifting datacenter work in TIME to when the grid is cleanest ("follow
+// the renewables"). This file models a diurnal carbon-intensity curve and a
+// scheduler that places deferrable jobs into their cleanest feasible
+// window, compared against running immediately.
+
+// IntensityCurve returns a region's grid carbon intensity (gCO2e/kWh) at a
+// given hour-of-day. Solar-heavy grids dip mid-day; the base intensity
+// scales the curve.
+type IntensityCurve func(hour float64) float64
+
+// DiurnalCurve builds a curve around a region's base intensity with the
+// given solar share in [0, 1): intensity dips toward midday proportionally
+// to how much solar the grid carries.
+func DiurnalCurve(region Region, solarShare float64) IntensityCurve {
+	if solarShare < 0 || solarShare >= 1 {
+		panic("green: solar share out of [0,1)")
+	}
+	return func(hour float64) float64 {
+		h := math.Mod(hour, 24)
+		// Solar output: zero at night, peaking at 13:00.
+		sun := math.Cos((h - 13) / 24 * 2 * math.Pi)
+		if sun < 0 {
+			sun = 0
+		}
+		return region.Intensity * (1 - solarShare*sun)
+	}
+}
+
+// DeferrableJob is work that must finish by a deadline but may start any
+// time before it.
+type DeferrableJob struct {
+	Name          string
+	DurationHours float64
+	DeadlineHour  float64 // hours from now
+	EnergyKWh     float64 // energy the job consumes (device × PUE already applied)
+}
+
+// WindowCO2 integrates the intensity curve over [start, start+duration]
+// and returns the job's emissions for that placement.
+func WindowCO2(curve IntensityCurve, job DeferrableJob, startHour float64) float64 {
+	const step = 0.25 // 15-minute integration
+	var sum float64
+	n := 0
+	for t := startHour; t < startHour+job.DurationHours; t += step {
+		sum += curve(t)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	avgIntensity := sum / float64(n)
+	return job.EnergyKWh * avgIntensity
+}
+
+// BestWindow finds the start hour in [0, deadline−duration] minimising the
+// job's emissions, scanning at 15-minute granularity. Returns the start and
+// the resulting gCO2e. Jobs whose duration exceeds the deadline start at 0.
+func BestWindow(curve IntensityCurve, job DeferrableJob) (startHour, co2 float64) {
+	latest := job.DeadlineHour - job.DurationHours
+	if latest <= 0 {
+		return 0, WindowCO2(curve, job, 0)
+	}
+	best, bestCO2 := 0.0, math.Inf(1)
+	for s := 0.0; s <= latest; s += 0.25 {
+		if c := WindowCO2(curve, job, s); c < bestCO2 {
+			best, bestCO2 = s, c
+		}
+	}
+	return best, bestCO2
+}
+
+// TemporalSavings compares deferring each job to its best window against
+// running everything immediately, returning (immediate, shifted) total
+// gCO2e.
+func TemporalSavings(curve IntensityCurve, jobs []DeferrableJob) (immediate, shifted float64) {
+	for _, j := range jobs {
+		immediate += WindowCO2(curve, j, 0)
+		_, c := BestWindow(curve, j)
+		shifted += c
+	}
+	return immediate, shifted
+}

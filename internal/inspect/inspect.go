@@ -1,0 +1,184 @@
+// Package inspect implements a DeepBase-style declarative interface for
+// testing hypotheses about trained models (Part 3.2, Sellam et al.):
+// instead of writing bespoke analysis loops, the user states WHICH units
+// and WHAT property ("correlates with the label", "is dead", "is redundant
+// with another unit") and the engine verifies the hypothesis against
+// recorded activations.
+package inspect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// Activations captures a network's per-layer hidden activations on a probe
+// set, the substrate queries run against.
+type Activations struct {
+	layers map[string]*tensor.Tensor // layer name → [examples, units]
+	order  []string
+}
+
+// Record runs x through the network in inference mode and captures the
+// output of every ReLU/Tanh/Sigmoid activation layer by name.
+func Record(net *nn.Network, x *tensor.Tensor) *Activations {
+	a := &Activations{layers: map[string]*tensor.Tensor{}}
+	h := x
+	for _, l := range net.Layers {
+		h = l.Forward(h, false)
+		switch l.(type) {
+		case *nn.ReLU, *nn.Tanh, *nn.Sigmoid:
+			a.layers[l.Name()] = h
+			a.order = append(a.order, l.Name())
+		}
+	}
+	return a
+}
+
+// Layers lists recorded layer names in network order.
+func (a *Activations) Layers() []string { return a.order }
+
+// Layer returns a recorded layer's activations.
+func (a *Activations) Layer(name string) (*tensor.Tensor, error) {
+	t, ok := a.layers[name]
+	if !ok {
+		return nil, fmt.Errorf("inspect: no recorded layer %q", name)
+	}
+	return t, nil
+}
+
+// UnitResult is one unit's hypothesis score.
+type UnitResult struct {
+	Layer string
+	Unit  int
+	Score float64
+}
+
+// CorrelatesWith finds units whose activation correlates (in absolute
+// Pearson value) with the given per-example signal at least minAbsCorr —
+// the "which neurons encode X" hypothesis. Results are sorted by |score|
+// descending.
+func (a *Activations) CorrelatesWith(layer string, signal []float64, minAbsCorr float64) ([]UnitResult, error) {
+	t, err := a.Layer(layer)
+	if err != nil {
+		return nil, err
+	}
+	if t.Dim(0) != len(signal) {
+		return nil, fmt.Errorf("inspect: signal length %d != %d examples", len(signal), t.Dim(0))
+	}
+	var out []UnitResult
+	for u := 0; u < t.Dim(1); u++ {
+		c := pearsonColumn(t, u, signal)
+		if math.Abs(c) >= minAbsCorr {
+			out = append(out, UnitResult{Layer: layer, Unit: u, Score: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return math.Abs(out[i].Score) > math.Abs(out[j].Score) })
+	return out, nil
+}
+
+// DeadUnits finds units whose activation is (near-)zero on every probe
+// example — wasted capacity the pruning literature removes.
+func (a *Activations) DeadUnits(layer string, eps float64) ([]UnitResult, error) {
+	t, err := a.Layer(layer)
+	if err != nil {
+		return nil, err
+	}
+	var out []UnitResult
+	for u := 0; u < t.Dim(1); u++ {
+		maxAbs := 0.0
+		for i := 0; i < t.Dim(0); i++ {
+			if v := math.Abs(t.At(i, u)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs <= eps {
+			out = append(out, UnitResult{Layer: layer, Unit: u, Score: maxAbs})
+		}
+	}
+	return out, nil
+}
+
+// PairResult is a redundancy finding between two units.
+type PairResult struct {
+	Layer string
+	UnitA int
+	UnitB int
+	Corr  float64
+}
+
+// RedundantPairs finds unit pairs within a layer whose activations
+// correlate above the threshold — the redundancy hypothesis behind
+// structured pruning. Results sorted by |corr| descending.
+func (a *Activations) RedundantPairs(layer string, minAbsCorr float64) ([]PairResult, error) {
+	t, err := a.Layer(layer)
+	if err != nil {
+		return nil, err
+	}
+	units := t.Dim(1)
+	cols := make([][]float64, units)
+	for u := 0; u < units; u++ {
+		cols[u] = make([]float64, t.Dim(0))
+		for i := 0; i < t.Dim(0); i++ {
+			cols[u][i] = t.At(i, u)
+		}
+	}
+	var out []PairResult
+	for i := 0; i < units; i++ {
+		for j := i + 1; j < units; j++ {
+			c := pearson(cols[i], cols[j])
+			if math.Abs(c) >= minAbsCorr {
+				out = append(out, PairResult{Layer: layer, UnitA: i, UnitB: j, Corr: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return math.Abs(out[i].Corr) > math.Abs(out[j].Corr) })
+	return out, nil
+}
+
+// LabelSignal converts integer labels to a ±-coded signal for a chosen
+// class (1 for the class, 0 otherwise).
+func LabelSignal(labels []int, class int) []float64 {
+	out := make([]float64, len(labels))
+	for i, l := range labels {
+		if l == class {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func pearsonColumn(t *tensor.Tensor, u int, signal []float64) float64 {
+	col := make([]float64, t.Dim(0))
+	for i := range col {
+		col[i] = t.At(i, u)
+	}
+	return pearson(col, signal)
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,137 @@
+package inspect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+func trainedNet(t *testing.T) (*nn.Network, *data.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := data.GaussianMixture(rng, 400, 6, 3, 4)
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 6, Hidden: []int{24}, Out: 3})
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(ds.X, nn.OneHot(ds.Labels, 3), nn.TrainConfig{Epochs: 25, BatchSize: 32})
+	return net, ds
+}
+
+func TestRecordCapturesActivationLayers(t *testing.T) {
+	net, ds := trainedNet(t)
+	a := Record(net, ds.X)
+	if len(a.Layers()) != 1 || a.Layers()[0] != "relu0" {
+		t.Fatalf("recorded layers %v", a.Layers())
+	}
+	act, err := a.Layer("relu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Dim(0) != ds.N() || act.Dim(1) != 24 {
+		t.Fatalf("activation shape %v", act.Shape())
+	}
+	if _, err := a.Layer("nope"); err == nil {
+		t.Fatal("expected error for unknown layer")
+	}
+}
+
+func TestCorrelatesWithFindsClassUnits(t *testing.T) {
+	net, ds := trainedNet(t)
+	a := Record(net, ds.X)
+	signal := LabelSignal(ds.Labels, 0)
+	hits, err := a.CorrelatesWith("relu0", signal, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-trained network must have units that encode class membership.
+	if len(hits) == 0 {
+		t.Fatal("no class-correlated units found")
+	}
+	// Sorted by |score| descending, all above threshold.
+	for i, h := range hits {
+		if math.Abs(h.Score) < 0.5 {
+			t.Fatalf("hit below threshold: %+v", h)
+		}
+		if i > 0 && math.Abs(h.Score) > math.Abs(hits[i-1].Score) {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestCorrelatesWithSignalLengthMismatch(t *testing.T) {
+	net, ds := trainedNet(t)
+	a := Record(net, ds.X)
+	if _, err := a.CorrelatesWith("relu0", []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestDeadUnitsDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Force some dead ReLU units by zeroing their incoming weights and
+	// setting a negative bias.
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 4, Hidden: []int{8}, Out: 2})
+	d := net.Layers[0].(*nn.Dense)
+	for _, u := range []int{2, 5} {
+		for i := 0; i < d.In(); i++ {
+			d.W.Value.Data[i*d.Out()+u] = 0
+		}
+		d.B.Value.Data[u] = -1
+	}
+	x := tensor.RandNormal(rng, 0, 1, 64, 4)
+	a := Record(net, x)
+	dead, err := a.DeadUnits("relu0", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, u := range dead {
+		found[u.Unit] = true
+	}
+	if !found[2] || !found[5] {
+		t.Fatalf("dead units not detected: %v", dead)
+	}
+}
+
+func TestRedundantPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Duplicate a unit's weights: its twin must show up as redundant.
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 4, Hidden: []int{8}, Out: 2})
+	d := net.Layers[0].(*nn.Dense)
+	for i := 0; i < d.In(); i++ {
+		d.W.Value.Data[i*d.Out()+1] = d.W.Value.Data[i*d.Out()+0]
+	}
+	d.B.Value.Data[1] = d.B.Value.Data[0]
+	x := tensor.RandNormal(rng, 0, 1, 128, 4)
+	a := Record(net, x)
+	pairs, err := a.RedundantPairs("relu0", 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTwin := false
+	for _, p := range pairs {
+		if p.UnitA == 0 && p.UnitB == 1 {
+			foundTwin = true
+		}
+	}
+	if !foundTwin {
+		t.Fatalf("duplicated unit pair not found: %v", pairs)
+	}
+}
+
+func TestPearsonBasics(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if c := pearson(a, a); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("self correlation %g", c)
+	}
+	b := []float64{4, 3, 2, 1}
+	if c := pearson(a, b); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("anti correlation %g", c)
+	}
+	if c := pearson(a, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant signal correlation %g", c)
+	}
+}

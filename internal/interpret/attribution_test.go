@@ -1,0 +1,132 @@
+package interpret
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// smoothNet trains a tanh classifier (smooth, so IG's completeness
+// converges quickly in steps).
+func smoothNet(t *testing.T, seed int64) (*nn.Network, *data.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := data.GaussianMixture(rng, 500, 6, 3, 3)
+	net := nn.NewNetwork(
+		nn.NewDenseXavier(rng, "fc0", 6, 24),
+		nn.NewTanh("tanh0"),
+		nn.NewDenseXavier(rng, "fc1", 24, 3),
+	)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(ds.X, nn.OneHot(ds.Labels, 3), nn.TrainConfig{Epochs: 25, BatchSize: 32})
+	return net, ds
+}
+
+func TestIntegratedGradientsCompleteness(t *testing.T) {
+	net, ds := smoothNet(t, 1)
+	x := tensor.FromSlice(append([]float64(nil), ds.X.Row(0)...), 1, 6)
+	baseline := tensor.New(1, 6)
+	attr := IntegratedGradients(net, x, baseline, ds.Labels[0], 64)
+	if gap := CompletenessGap(net, x, baseline, attr, ds.Labels[0]); gap > 0.02 {
+		t.Fatalf("completeness gap %.4f > 2%%", gap)
+	}
+}
+
+func TestIntegratedGradientsMoreStepsTighter(t *testing.T) {
+	net, ds := smoothNet(t, 2)
+	x := tensor.FromSlice(append([]float64(nil), ds.X.Row(3)...), 1, 6)
+	baseline := tensor.New(1, 6)
+	class := ds.Labels[3]
+	coarse := CompletenessGap(net, x, baseline, IntegratedGradients(net, x, baseline, class, 2), class)
+	fine := CompletenessGap(net, x, baseline, IntegratedGradients(net, x, baseline, class, 128), class)
+	if fine > coarse {
+		t.Fatalf("more steps should tighten completeness: 2-step %.4f vs 128-step %.4f", coarse, fine)
+	}
+}
+
+func TestIntegratedGradientsShapeMismatchPanics(t *testing.T) {
+	net, ds := smoothNet(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IntegratedGradients(net, ds.X.Reshape(ds.N(), 6), tensor.New(1, 6), 0, 4)
+}
+
+func TestOcclusionAgreesWithGradientSaliency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds, _ := data.SyntheticDigits(rng, data.DigitsConfig{N: 160})
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := nn.NewNetwork(
+		nn.NewConv2D(rng, "c1", g, 4),
+		nn.NewReLU("r1"),
+		nn.NewFlatten("f"),
+		nn.NewDense(rng, "out", 4*64, 4),
+	)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.005), rng)
+	tr.Fit(ds.X, nn.OneHot(ds.Labels, 4), nn.TrainConfig{Epochs: 40, BatchSize: 16})
+
+	var corrSum float64
+	for i := 0; i < 8; i++ {
+		x := tensor.FromSlice(append([]float64(nil), ds.X.Data[i*64:(i+1)*64]...), 1, 1, 8, 8)
+		grad := Saliency(net, x, ds.Labels[i])
+		occ := OcclusionSaliency(net, x, ds.Labels[i], 0)
+		corrSum += AttributionRankCorrelation(grad, occ)
+	}
+	if avg := corrSum / 8; avg < 0.4 {
+		t.Fatalf("gradient and occlusion maps disagree: mean rank corr %.3f", avg)
+	}
+}
+
+func TestOcclusionConcentratesOnGlyph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, masks := data.SyntheticDigits(rng, data.DigitsConfig{N: 160})
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	net := nn.NewNetwork(
+		nn.NewConv2D(rng, "c1", g, 4),
+		nn.NewReLU("r1"),
+		nn.NewFlatten("f"),
+		nn.NewDense(rng, "out", 4*64, 4),
+	)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.005), rng)
+	tr.Fit(ds.X, nn.OneHot(ds.Labels, 4), nn.TrainConfig{Epochs: 40, BatchSize: 16})
+
+	var ratio float64
+	n := 12
+	for i := 0; i < n; i++ {
+		x := tensor.FromSlice(append([]float64(nil), ds.X.Data[i*64:(i+1)*64]...), 1, 1, 8, 8)
+		occ := OcclusionSaliency(net, x, ds.Labels[i], 0)
+		occ.ApplyInPlace(func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		})
+		mask := masks[ds.Labels[i]]
+		area := 0
+		for _, m := range mask {
+			if m {
+				area++
+			}
+		}
+		ratio += SaliencyMass(occ, mask) / (float64(area) / 64)
+	}
+	if avg := ratio / float64(n); avg < 1.5 {
+		t.Fatalf("occlusion concentration %.2f too low", avg)
+	}
+}
+
+func TestRankCorrelationBounds(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	if c := AttributionRankCorrelation(a, a); c != 1 {
+		t.Fatalf("self correlation %g != 1", c)
+	}
+	b := tensor.FromSlice([]float64{4, 3, 2, 1}, 4)
+	if c := AttributionRankCorrelation(a, b); c != -1 {
+		t.Fatalf("reversed correlation %g != -1", c)
+	}
+}

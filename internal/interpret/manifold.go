@@ -1,0 +1,281 @@
+package interpret
+
+import (
+	"container/heap"
+	"math"
+
+	"dlsys/internal/tensor"
+)
+
+// Isomap embeds rows of x into k dimensions by preserving GEODESIC
+// distances: build a kNN graph, compute all-pairs shortest paths over it,
+// and apply classical MDS to the geodesic distance matrix. One of the
+// "t-SNE variants" the tutorial names for understanding high-dimensional
+// deep-learning data.
+func Isomap(x *tensor.Tensor, neighbors, k int) *tensor.Tensor {
+	n := x.Dim(0)
+	d2 := pairwiseSqDist(x)
+	// kNN graph with Euclidean edge weights.
+	adj := make([][]graphEdge, n)
+	for i := 0; i < n; i++ {
+		nbrs := kNearest(x, i, neighbors)
+		for _, j := range nbrs {
+			w := math.Sqrt(d2[i][j])
+			adj[i] = append(adj[i], graphEdge{to: j, w: w})
+			adj[j] = append(adj[j], graphEdge{to: i, w: w}) // symmetrise
+		}
+	}
+	// All-pairs shortest paths: Dijkstra from every node.
+	geo := make([][]float64, n)
+	var maxFinite float64
+	for i := 0; i < n; i++ {
+		geo[i] = dijkstra(adj, i)
+		for _, v := range geo[i] {
+			if !math.IsInf(v, 1) && v > maxFinite {
+				maxFinite = v
+			}
+		}
+	}
+	// Disconnected pairs: cap at a large finite distance so MDS stays sane.
+	for i := range geo {
+		for j := range geo[i] {
+			if math.IsInf(geo[i][j], 1) {
+				geo[i][j] = maxFinite * 1.5
+			}
+		}
+	}
+	return classicalMDS(geo, k)
+}
+
+type graphEdge struct {
+	to int
+	w  float64
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+type priorityQueue []pqItem
+
+func (p priorityQueue) Len() int           { return len(p) }
+func (p priorityQueue) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p priorityQueue) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *priorityQueue) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *priorityQueue) Pop() any          { old := *p; it := old[len(old)-1]; *p = old[:len(old)-1]; return it }
+
+func dijkstra(adj [][]graphEdge, src int) []float64 {
+	n := len(adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &priorityQueue{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// classicalMDS converts a distance matrix into a k-dimensional embedding:
+// double-center the squared distances (B = -½ J D² J) and project onto the
+// top-k eigenvectors scaled by sqrt of their eigenvalues.
+func classicalMDS(dist [][]float64, k int) *tensor.Tensor {
+	n := len(dist)
+	b := tensor.New(n, n)
+	rowMean := make([]float64, n)
+	var grand float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d2 := dist[i][j] * dist[i][j]
+			b.Set(d2, i, j)
+			rowMean[i] += d2
+		}
+		rowMean[i] /= float64(n)
+		grand += rowMean[i]
+	}
+	grand /= float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -0.5 * (b.At(i, j) - rowMean[i] - rowMean[j] + grand)
+			b.Set(v, i, j)
+		}
+	}
+	out := tensor.New(n, k)
+	for c := 0; c < k; c++ {
+		vec := powerIteration(b, 300)
+		// Eigenvalue via Rayleigh quotient.
+		var lambda float64
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			var s float64
+			for j := 0; j < n; j++ {
+				s += row[j] * vec[j]
+			}
+			lambda += vec[i] * s
+		}
+		scale := 0.0
+		if lambda > 0 {
+			scale = math.Sqrt(lambda)
+		}
+		for i := 0; i < n; i++ {
+			out.Set(vec[i]*scale, i, c)
+		}
+		deflate(b, vec)
+	}
+	return out
+}
+
+// LLE embeds rows of x with Locally Linear Embedding: each point is
+// expressed as a weighted combination of its neighbours, and the embedding
+// preserves those reconstruction weights. The other named t-SNE variant in
+// the tutorial.
+func LLE(x *tensor.Tensor, neighbors, k int) *tensor.Tensor {
+	n, d := x.Dim(0), x.Dim(1)
+	// Reconstruction weights.
+	w := make([][]float64, n)
+	nbrIdx := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nbrs := kNearest(x, i, neighbors)
+		nbrIdx[i] = nbrs
+		m := len(nbrs)
+		// Local Gram matrix of centered neighbours.
+		g := make([][]float64, m)
+		for a := 0; a < m; a++ {
+			g[a] = make([]float64, m)
+		}
+		diffs := make([][]float64, m)
+		for a, j := range nbrs {
+			diffs[a] = make([]float64, d)
+			for t := 0; t < d; t++ {
+				diffs[a][t] = x.At(j, t) - x.At(i, t)
+			}
+		}
+		var trace float64
+		for a := 0; a < m; a++ {
+			for bIdx := 0; bIdx < m; bIdx++ {
+				var s float64
+				for t := 0; t < d; t++ {
+					s += diffs[a][t] * diffs[bIdx][t]
+				}
+				g[a][bIdx] = s
+				if a == bIdx {
+					trace += s
+				}
+			}
+		}
+		// Regularise (standard LLE conditioning) and solve G w = 1.
+		reg := 1e-3 * trace / float64(m)
+		if reg == 0 {
+			reg = 1e-9
+		}
+		ones := make([]float64, m)
+		for a := 0; a < m; a++ {
+			g[a][a] += reg
+			ones[a] = 1
+		}
+		wi := solveLinear(g, ones)
+		var sum float64
+		for _, v := range wi {
+			sum += v
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for a := range wi {
+			wi[a] /= sum
+		}
+		w[i] = wi
+	}
+	// M = (I-W)ᵀ(I-W); embed with the eigenvectors of the SMALLEST nonzero
+	// eigenvalues. The smallest eigenvalues of M cluster near zero, so
+	// shifted power iteration cannot separate them; inverse iteration on
+	// (M + μI) converges fast instead. The very smallest eigenvector is the
+	// constant vector (eigenvalue 0), which LLE discards by keeping every
+	// iterate orthogonal to it.
+	iw := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		iw.Set(1, i, i)
+		for a, j := range nbrIdx[i] {
+			iw.Set(iw.At(i, j)-w[i][a], i, j)
+		}
+	}
+	mm := tensor.MatMulTransA(iw, iw)
+	vecs := smallestEigvecs(mm, k)
+	out := tensor.New(n, k)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			out.Set(vecs[c][i], i, c)
+		}
+	}
+	return out
+}
+
+// smallestEigvecs returns the k eigenvectors of symmetric m with the
+// smallest eigenvalues, EXCLUDING the constant vector, via inverse power
+// iteration with Gram-Schmidt deflation.
+func smallestEigvecs(m *tensor.Tensor, k int) [][]float64 {
+	n := m.Dim(0)
+	// Regularised copy for the solves.
+	a := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = append([]float64(nil), m.Row(i)...)
+		a[i][i] += 1e-8
+	}
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 1 / math.Sqrt(float64(n))
+	}
+	found := [][]float64{constant}
+	out := make([][]float64, 0, k)
+	for c := 0; c < k; c++ {
+		v := make([]float64, n)
+		for i := range v {
+			// Deterministic varied start.
+			v[i] = math.Sin(float64((c+2)*(i+1)) * 0.7)
+		}
+		orthonormalize(v, found)
+		for it := 0; it < 30; it++ {
+			v = solveLinear(a, v)
+			orthonormalize(v, found)
+		}
+		found = append(found, v)
+		out = append(out, v)
+	}
+	return out
+}
+
+// orthonormalize removes the components of v along each basis vector and
+// normalizes v in place.
+func orthonormalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		var dot float64
+		for i := range v {
+			dot += v[i] * b[i]
+		}
+		for i := range v {
+			v[i] -= dot * b[i]
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+}

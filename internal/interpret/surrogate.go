@@ -1,0 +1,198 @@
+package interpret
+
+import (
+	"math"
+	"sort"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// DecisionTree is a CART classifier used as a self-explanatory global
+// surrogate: trained on a network's PREDICTIONS, its agreement with the
+// network measures how faithfully simple rules capture the learned
+// function.
+type DecisionTree struct {
+	root *treeNode
+	// MaxDepth and MinSamples bound tree growth.
+	MaxDepth   int
+	MinSamples int
+	classes    int
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	leaf        bool
+	class       int
+}
+
+// NewDecisionTree creates an untrained tree with the given growth bounds.
+func NewDecisionTree(maxDepth, minSamples int) *DecisionTree {
+	return &DecisionTree{MaxDepth: maxDepth, MinSamples: minSamples}
+}
+
+// Fit trains on rows of x against integer labels using Gini impurity.
+func (t *DecisionTree) Fit(x *tensor.Tensor, labels []int, classes int) {
+	t.classes = classes
+	idx := make([]int, x.Dim(0))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, labels, idx, 0)
+}
+
+func (t *DecisionTree) grow(x *tensor.Tensor, labels, idx []int, depth int) *treeNode {
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	majority, best := 0, -1
+	pure := false
+	for c, n := range counts {
+		if n > best {
+			best, majority = n, c
+		}
+		if n == len(idx) {
+			pure = true
+		}
+	}
+	if pure || depth >= t.MaxDepth || len(idx) < t.MinSamples {
+		return &treeNode{leaf: true, class: majority}
+	}
+	// Accept zero-gain splits on impure nodes: greedy Gini gain is zero at
+	// the root of XOR-like functions, but splitting still lets deeper
+	// levels separate the classes (the depth bound prevents runaway).
+	f, thr, gain := t.bestSplit(x, labels, idx)
+	if f < 0 || gain < 0 {
+		return &treeNode{leaf: true, class: majority}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x.At(i, f) <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &treeNode{leaf: true, class: majority}
+	}
+	return &treeNode{
+		feature: f, threshold: thr,
+		left:  t.grow(x, labels, li, depth+1),
+		right: t.grow(x, labels, ri, depth+1),
+	}
+}
+
+func (t *DecisionTree) bestSplit(x *tensor.Tensor, labels, idx []int) (feature int, threshold, gain float64) {
+	parent := gini(countOf(labels, idx, t.classes), len(idx))
+	bestGain := math.Inf(-1)
+	bestF, bestT := -1, 0.0
+	d := x.Dim(1)
+	for f := 0; f < d; f++ {
+		// Sort indices by feature value; sweep split points.
+		sorted := append([]int(nil), idx...)
+		sort.Slice(sorted, func(a, b int) bool { return x.At(sorted[a], f) < x.At(sorted[b], f) })
+		leftCounts := make([]int, t.classes)
+		rightCounts := countOf(labels, idx, t.classes)
+		for s := 0; s < len(sorted)-1; s++ {
+			c := labels[sorted[s]]
+			leftCounts[c]++
+			rightCounts[c]--
+			v, next := x.At(sorted[s], f), x.At(sorted[s+1], f)
+			if v == next {
+				continue
+			}
+			nl, nr := s+1, len(sorted)-s-1
+			g := parent -
+				(float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(len(sorted))
+			if g > bestGain {
+				bestGain = g
+				bestF = f
+				bestT = (v + next) / 2
+			}
+		}
+	}
+	return bestF, bestT, bestGain
+}
+
+func countOf(labels, idx []int, classes int) []int {
+	c := make([]int, classes)
+	for _, i := range idx {
+		c[labels[i]]++
+	}
+	return c
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// Predict returns the class for one row.
+func (t *DecisionTree) Predict(row []float64) int {
+	n := t.root
+	for !n.leaf {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// PredictBatch classifies every row of x.
+func (t *DecisionTree) PredictBatch(x *tensor.Tensor) []int {
+	out := make([]int, x.Dim(0))
+	for i := range out {
+		out[i] = t.Predict(x.Row(i))
+	}
+	return out
+}
+
+// Depth returns the grown tree's depth.
+func (t *DecisionTree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		return 1 + int(math.Max(float64(l), float64(r)))
+	}
+	return walk(t.root)
+}
+
+// TreeSurrogate fits a decision tree to MIMIC the network: it is trained on
+// the network's own predictions over x, then its agreement with the network
+// on test data measures surrogate fidelity (E27).
+func TreeSurrogate(net *nn.Network, x *tensor.Tensor, classes, maxDepth int) *DecisionTree {
+	preds := net.Predict(x)
+	tree := NewDecisionTree(maxDepth, 4)
+	tree.Fit(x, preds, classes)
+	return tree
+}
+
+// AgreementTree measures the fraction of rows where the tree matches the
+// network's prediction.
+func AgreementTree(net *nn.Network, tree *DecisionTree, x *tensor.Tensor) float64 {
+	np := net.Predict(x)
+	tp := tree.PredictBatch(x)
+	same := 0
+	for i := range np {
+		if np[i] == tp[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(np))
+}

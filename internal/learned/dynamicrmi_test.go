@@ -1,0 +1,126 @@
+package learned
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dlsys/internal/data"
+)
+
+func TestDynamicRMIInsertAndContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := data.GenerateKeys(rng, data.Uniform, 5000)
+	d := NewDynamicRMI(keys, 64)
+	// All original keys present.
+	for i := 0; i < len(keys); i += 37 {
+		if !d.Contains(keys[i]) {
+			t.Fatalf("original key %d missing", keys[i])
+		}
+	}
+	// Insert fresh keys; all must be immediately visible.
+	fresh := data.NegativeKeys(rng, keys, 2000)
+	for _, k := range fresh {
+		d.Insert(k)
+		if !d.Contains(k) {
+			t.Fatalf("inserted key %d not found", k)
+		}
+	}
+	// Older inserts survive rebuilds.
+	for _, k := range fresh {
+		if !d.Contains(k) {
+			t.Fatalf("key %d lost after rebuilds", k)
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Fatal("2000 inserts into 5000 keys should have triggered rebuilds")
+	}
+	if d.Len() != len(keys)+countDistinct(fresh) {
+		t.Fatalf("len %d, want %d", d.Len(), len(keys)+countDistinct(fresh))
+	}
+}
+
+func countDistinct(keys []uint64) int {
+	m := map[uint64]bool{}
+	for _, k := range keys {
+		m[k] = true
+	}
+	return len(m)
+}
+
+func TestDynamicRMIDuplicateInsertIgnored(t *testing.T) {
+	d := NewDynamicRMI([]uint64{10, 20, 30}, 2)
+	d.Insert(20)
+	d.Insert(25)
+	d.Insert(25)
+	if d.Len() != 4 {
+		t.Fatalf("len %d, want 4", d.Len())
+	}
+}
+
+func TestDynamicRMIRankMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := data.GenerateKeys(rng, data.ZipfGaps, 3000)
+	d := NewDynamicRMI(keys, 32)
+	inserted := data.NegativeKeys(rng, keys, 500)
+	all := append(append([]uint64(nil), keys...), inserted...)
+	for _, k := range inserted {
+		d.Insert(k)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for probe := 0; probe < 200; probe++ {
+		k := all[rng.Intn(len(all))]
+		want := sort.Search(len(all), func(i int) bool { return all[i] >= k })
+		if got := d.Rank(k); got != want {
+			t.Fatalf("rank(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// Property: after any sequence of inserts, every inserted key is found and
+// no uninserted key is.
+func TestDynamicRMIOracleQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		base := []uint64{100, 200, 300, 400, 500}
+		d := NewDynamicRMI(base, 2)
+		oracle := map[uint64]bool{100: true, 200: true, 300: true, 400: true, 500: true}
+		for _, r := range raw {
+			k := uint64(r)
+			d.Insert(k)
+			oracle[k] = true
+		}
+		if d.Len() != len(oracle) {
+			return false
+		}
+		for k := range oracle {
+			if !d.Contains(k) {
+				return false
+			}
+		}
+		// Probe a few absent keys.
+		for k := uint64(600); k < 610; k++ {
+			if !oracle[k] && d.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicRMIMemoryStaysSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := data.GenerateKeys(rng, data.Uniform, 20000)
+	d := NewDynamicRMI(keys, 128)
+	for _, k := range data.NegativeKeys(rng, keys, 5000) {
+		d.Insert(k)
+	}
+	// Index stays orders of magnitude below the data size.
+	dataBytes := int64(d.Len()) * 8
+	if d.MemoryBytes()*10 > dataBytes {
+		t.Fatalf("index %dB not small relative to data %dB", d.MemoryBytes(), dataBytes)
+	}
+}

@@ -1,0 +1,125 @@
+package learned
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/db"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// JoinCostModel is a learned cost model for join ordering: a regressor
+// predicting the log-size of joining one more relation into a partial plan,
+// trained on labelled examples from random join graphs. A greedy planner
+// driven by its predictions stands in for learned query optimizers (the
+// "generate plans directly" line of work in Part 2).
+type JoinCostModel struct {
+	net *nn.Network
+}
+
+// join step features: log current intermediate size, log candidate
+// cardinality, summed log selectivity between candidate and the joined set.
+const joinFeatures = 3
+
+func joinStepFeatures(g *db.JoinGraph, joined []int, cand int, curSize float64) []float64 {
+	var logSel float64
+	for _, r := range joined {
+		logSel += math.Log(g.Sel[r][cand])
+	}
+	return []float64{math.Log(curSize), math.Log(g.Card[cand]), logSel}
+}
+
+// RandomJoinGraph samples a join problem: n relations with log-uniform
+// cardinalities; a random spanning tree of join predicates plus extra
+// random edges, with selectivities ~ 1/card of one endpoint.
+func RandomJoinGraph(rng *rand.Rand, n int) *db.JoinGraph {
+	card := make([]float64, n)
+	for i := range card {
+		card[i] = math.Floor(math.Pow(10, 1+4*rng.Float64()))
+	}
+	g := db.NewJoinGraph(card)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.SetSel(i, j, 1/card[j])
+	}
+	// A few extra edges.
+	for e := 0; e < n/2; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			g.SetSel(i, j, math.Pow(10, -1-2*rng.Float64()))
+		}
+	}
+	return g
+}
+
+// TrainJoinCostModel fits the regressor on random graphs: for random
+// partial plans it labels each candidate extension with the true log result
+// size.
+func TrainJoinCostModel(rng *rand.Rand, graphs, maxRelations, epochs int) *JoinCostModel {
+	var xs [][]float64
+	var ys []float64
+	for gi := 0; gi < graphs; gi++ {
+		n := 3 + rng.Intn(maxRelations-2)
+		g := RandomJoinGraph(rng, n)
+		// Random partial plans of every length.
+		perm := rng.Perm(n)
+		for k := 1; k < n; k++ {
+			joined := perm[:k]
+			curSize := g.ResultSize(joined)
+			cand := perm[k]
+			next := g.ResultSize(perm[:k+1])
+			xs = append(xs, joinStepFeatures(g, joined, cand, curSize))
+			ys = append(ys, math.Log(next))
+		}
+	}
+	x := tensor.New(len(xs), joinFeatures)
+	y := tensor.New(len(ys), 1)
+	for i := range xs {
+		copy(x.Row(i), xs[i])
+		y.Data[i] = ys[i]
+	}
+	net := nn.NewMLP(rng, nn.MLPConfig{In: joinFeatures, Hidden: []int{16, 16}, Out: 1})
+	tr := nn.NewTrainer(net, nn.NewMSE(), nn.NewAdam(0.005), rng)
+	tr.Fit(x, y, nn.TrainConfig{Epochs: epochs, BatchSize: 64})
+	return &JoinCostModel{net: net}
+}
+
+// PredictLogSize returns the model's predicted log result size of extending
+// the joined set with cand.
+func (m *JoinCostModel) PredictLogSize(g *db.JoinGraph, joined []int, cand int, curSize float64) float64 {
+	x := tensor.FromSlice(joinStepFeatures(g, joined, cand, curSize), 1, joinFeatures)
+	return m.net.Forward(x, false).Data[0]
+}
+
+// PlanGreedy orders the join greedily by the model's predicted sizes and
+// returns the order with its TRUE cost (what the database would pay).
+func (m *JoinCostModel) PlanGreedy(g *db.JoinGraph) (order []int, trueCost float64) {
+	n := g.N()
+	used := make([]bool, n)
+	// Start from the smallest predicted... base table: smallest cardinality.
+	start := 0
+	for i := 1; i < n; i++ {
+		if g.Card[i] < g.Card[start] {
+			start = i
+		}
+	}
+	order = []int{start}
+	used[start] = true
+	for len(order) < n {
+		curSize := g.ResultSize(order)
+		bestJ, bestPred := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			p := m.PredictLogSize(g, order, j, curSize)
+			if p < bestPred {
+				bestPred, bestJ = p, j
+			}
+		}
+		order = append(order, bestJ)
+		used[bestJ] = true
+	}
+	return order, g.PlanCost(order)
+}

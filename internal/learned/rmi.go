@@ -1,0 +1,159 @@
+// Package learned implements the deep-learning-for-data-systems components
+// surveyed in Part 2 of the tutorial: a two-level recursive-model learned
+// index (Kraska et al.), a learned Bloom filter with a backup filter, a
+// neural multi-attribute selectivity estimator, a Q-learning database knob
+// tuner, and a learned cost model driving join ordering. Each component is
+// benchmarked against the exact classical baseline in internal/db.
+package learned
+
+import (
+	"math"
+	"sort"
+)
+
+// linearModel is y ≈ A·x + B fit by least squares.
+type linearModel struct {
+	A, B float64
+}
+
+func fitLinear(xs, ys []float64) linearModel {
+	n := float64(len(xs))
+	if n == 0 {
+		return linearModel{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return linearModel{A: 0, B: sy / n}
+	}
+	a := (n*sxy - sx*sy) / den
+	return linearModel{A: a, B: (sy - a*sx) / n}
+}
+
+func (m linearModel) predict(x float64) float64 { return m.A*x + m.B }
+
+// RMI is a two-level recursive model index over a sorted key array: a root
+// linear model routes each key to one of L second-level linear models, each
+// predicting the key's array position with recorded error bounds. Lookups
+// predict a position and binary-search only the error window.
+type RMI struct {
+	root   linearModel
+	leaves []rmiLeaf
+	n      int
+}
+
+type rmiLeaf struct {
+	model        linearModel
+	errLo, errHi int // worst under-/over-prediction within the leaf
+}
+
+// BuildRMI fits the index over sorted keys with the given number of
+// second-level models.
+func BuildRMI(keys []uint64, numLeaves int) *RMI {
+	if len(keys) == 0 || numLeaves < 1 {
+		panic("learned: BuildRMI needs keys and at least one leaf")
+	}
+	n := len(keys)
+	// Root model maps key → leaf index; fit on (key, leaf) pairs where the
+	// ideal leaf is proportional to rank.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, k := range keys {
+		xs[i] = float64(k)
+		ys[i] = float64(i) * float64(numLeaves) / float64(n)
+	}
+	r := &RMI{root: fitLinear(xs, ys), n: n, leaves: make([]rmiLeaf, numLeaves)}
+
+	// Partition keys by routed leaf, then fit each leaf on its members.
+	members := make([][]int, numLeaves)
+	for i, k := range keys {
+		l := r.route(float64(k))
+		members[l] = append(members[l], i)
+	}
+	for l := 0; l < numLeaves; l++ {
+		idx := members[l]
+		if len(idx) == 0 {
+			// Empty leaf: inherit a flat model at the split point.
+			r.leaves[l] = rmiLeaf{model: linearModel{B: float64(l) * float64(n) / float64(numLeaves)}}
+			continue
+		}
+		lx := make([]float64, len(idx))
+		ly := make([]float64, len(idx))
+		for j, i := range idx {
+			lx[j] = float64(keys[i])
+			ly[j] = float64(i)
+		}
+		m := fitLinear(lx, ly)
+		leaf := rmiLeaf{model: m}
+		for j, i := range idx {
+			pred := int(math.Round(m.predict(lx[j])))
+			if d := i - pred; d < leaf.errLo {
+				leaf.errLo = d
+			} else if d > leaf.errHi {
+				leaf.errHi = d
+			}
+		}
+		r.leaves[l] = leaf
+	}
+	return r
+}
+
+func (r *RMI) route(key float64) int {
+	l := int(r.root.predict(key))
+	if l < 0 {
+		return 0
+	}
+	if l >= len(r.leaves) {
+		return len(r.leaves) - 1
+	}
+	return l
+}
+
+// Lookup finds key's position in the sorted array it was built over. The
+// array must be passed in (the index stores only models). Returns the
+// position and whether the key is present.
+func (r *RMI) Lookup(keys []uint64, key uint64) (int, bool) {
+	leaf := r.leaves[r.route(float64(key))]
+	pred := int(math.Round(leaf.model.predict(float64(key))))
+	lo := pred + leaf.errLo
+	hi := pred + leaf.errHi + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(keys) {
+		hi = len(keys)
+	}
+	if lo >= hi {
+		return 0, false
+	}
+	w := keys[lo:hi]
+	i := sort.Search(len(w), func(i int) bool { return w[i] >= key })
+	if i < len(w) && w[i] == key {
+		return lo + i, true
+	}
+	return 0, false
+}
+
+// MaxSearchWindow returns the largest error window any leaf requires — the
+// bound on per-lookup binary-search work.
+func (r *RMI) MaxSearchWindow() int {
+	w := 0
+	for _, l := range r.leaves {
+		if s := l.errHi - l.errLo + 1; s > w {
+			w = s
+		}
+	}
+	return w
+}
+
+// MemoryBytes is the index's resident size: two float64 per model plus two
+// ints of error bounds per leaf.
+func (r *RMI) MemoryBytes() int64 {
+	return 16 + int64(len(r.leaves))*(16+16)
+}

@@ -1,0 +1,122 @@
+package learned
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/db"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// SelectivityEstimator is a neural multi-attribute selectivity estimator
+// (Hasan et al. style): an MLP regressor from query-range features to
+// selectivity, trained on (query, true-count) pairs sampled against the
+// actual table — so it learns the joint distribution that independence-
+// assuming histograms cannot capture.
+type SelectivityEstimator struct {
+	net  *nn.Network
+	cols []string
+}
+
+// SelectivityConfig controls training.
+type SelectivityConfig struct {
+	Hidden    []int
+	Queries   int // training queries sampled
+	Epochs    int
+	LR        float64
+	BatchSize int
+}
+
+// queryFeatures encodes a conjunctive range query as [lo, hi] per column
+// (full range for unconstrained columns). Columns are assumed in [0, 1].
+func queryFeatures(cols []string, preds []db.Pred) []float64 {
+	f := make([]float64, 2*len(cols))
+	for i := range cols {
+		f[2*i] = 0
+		f[2*i+1] = 1
+	}
+	for _, p := range preds {
+		for i, c := range cols {
+			if c == p.Col {
+				f[2*i] = p.Lo
+				f[2*i+1] = p.Hi
+			}
+		}
+	}
+	return f
+}
+
+// RandomRangeQuery samples a conjunctive range query over the given columns
+// with uniformly random bounds (the training/test workload for E15).
+func RandomRangeQuery(rng *rand.Rand, cols []string) []db.Pred {
+	var preds []db.Pred
+	for _, c := range cols {
+		// Each column constrained with probability 2/3.
+		if rng.Float64() < 1.0/3 {
+			continue
+		}
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		preds = append(preds, db.Pred{Col: c, Lo: a, Hi: b})
+	}
+	if len(preds) == 0 {
+		c := cols[rng.Intn(len(cols))]
+		preds = append(preds, db.Pred{Col: c, Lo: 0.25, Hi: 0.75})
+	}
+	return preds
+}
+
+// TrainSelectivityEstimator samples training queries, labels them by exact
+// scan, and fits the regressor on log-selectivity (squashing the dynamic
+// range, the standard trick).
+func TrainSelectivityEstimator(rng *rand.Rand, t *db.Table, cfg SelectivityConfig) *SelectivityEstimator {
+	cols := t.Columns()
+	x := tensor.New(cfg.Queries, 2*len(cols))
+	y := tensor.New(cfg.Queries, 1)
+	for q := 0; q < cfg.Queries; q++ {
+		preds := RandomRangeQuery(rng, cols)
+		copy(x.Row(q), queryFeatures(cols, preds))
+		y.Data[q] = logSel(t.Selectivity(preds))
+	}
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 2 * len(cols), Hidden: cfg.Hidden, Out: 1})
+	tr := nn.NewTrainer(net, nn.NewMSE(), nn.NewAdam(cfg.LR), rng)
+	tr.Fit(x, y, nn.TrainConfig{Epochs: cfg.Epochs, BatchSize: cfg.BatchSize})
+	return &SelectivityEstimator{net: net, cols: cols}
+}
+
+const selFloor = 1e-5
+
+func logSel(s float64) float64 { return math.Log(math.Max(s, selFloor)) }
+
+// Estimate returns the predicted selectivity of the conjunction in [0, 1].
+func (e *SelectivityEstimator) Estimate(preds []db.Pred) float64 {
+	x := tensor.FromSlice(queryFeatures(e.cols, preds), 1, 2*len(e.cols))
+	out := e.net.Forward(x, false)
+	s := math.Exp(out.Data[0])
+	if s > 1 {
+		return 1
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// MemoryBytes reports the model footprint at float32.
+func (e *SelectivityEstimator) MemoryBytes() int64 { return e.net.ParamBytes(32) }
+
+// QErrorStats evaluates an estimator function over sampled test queries and
+// returns the median and 95th-percentile q-error.
+func QErrorStats(rng *rand.Rand, t *db.Table, estimate func([]db.Pred) float64, queries int) (median, p95 float64) {
+	qs := make([]float64, 0, queries)
+	for i := 0; i < queries; i++ {
+		preds := RandomRangeQuery(rng, t.Columns())
+		truth := t.Selectivity(preds)
+		qs = append(qs, db.QError(math.Max(estimate(preds), selFloor), math.Max(truth, selFloor)))
+	}
+	sortFloats(qs)
+	return qs[len(qs)/2], qs[int(float64(len(qs))*0.95)]
+}

@@ -1,0 +1,133 @@
+package learned
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KnobEnv is a synthetic database-tuning environment: `Units` units of
+// buffer memory are allocated among three components (buffer pool, sort
+// area, hash area). Throughput is a concave function with an interaction
+// term whose optimum is off-centre — naive even splits are suboptimal, and
+// the tuner must discover the optimum from reward signals alone, the
+// setting the tutorial's RL-knob-tuning citations address.
+type KnobEnv struct {
+	Units int
+	// Noise adds zero-mean measurement noise to observed rewards.
+	Noise float64
+	rng   *rand.Rand
+	// evaluations counts how many configurations were measured.
+	evaluations int
+}
+
+// NewKnobEnv creates an environment with the given total units.
+func NewKnobEnv(rng *rand.Rand, units int, noise float64) *KnobEnv {
+	return &KnobEnv{Units: units, Noise: noise, rng: rng}
+}
+
+// TrueThroughput is the noiseless objective (for evaluation only).
+func (e *KnobEnv) TrueThroughput(alloc [3]int) float64 {
+	b, s, h := float64(alloc[0]), float64(alloc[1]), float64(alloc[2])
+	u := float64(e.Units)
+	b, s, h = b/u, s/u, h/u
+	// Concave returns with diminishing benefit, plus a sort-hash
+	// interaction (pipelined hash joins need sort space too).
+	return 100 * (0.55*math.Sqrt(b) + 0.25*math.Sqrt(s) + 0.20*math.Sqrt(h) + 0.15*math.Sqrt(s*h))
+}
+
+// Measure returns a noisy throughput observation and counts the evaluation.
+func (e *KnobEnv) Measure(alloc [3]int) float64 {
+	e.evaluations++
+	return e.TrueThroughput(alloc) + e.Noise*e.rng.NormFloat64()
+}
+
+// Evaluations returns how many configurations have been measured so far.
+func (e *KnobEnv) Evaluations() int { return e.evaluations }
+
+// GridSearch measures every allocation of Units among 3 components at the
+// given step and returns the best found — the exhaustive baseline.
+func GridSearch(e *KnobEnv, step int) (best [3]int, bestVal float64) {
+	bestVal = -1
+	for b := 0; b <= e.Units; b += step {
+		for s := 0; s+b <= e.Units; s += step {
+			h := e.Units - b - s
+			v := e.Measure([3]int{b, s, h})
+			if v > bestVal {
+				bestVal = v
+				best = [3]int{b, s, h}
+			}
+		}
+	}
+	return best, bestVal
+}
+
+// QTuner is a tabular Q-learning agent over the allocation simplex. States
+// are allocations; actions move one unit between components.
+type QTuner struct {
+	Alpha, Gamma, Epsilon float64
+	q                     map[[3]int][6]float64
+}
+
+// NewQTuner creates a tuner with standard hyperparameters.
+func NewQTuner() *QTuner {
+	return &QTuner{Alpha: 0.3, Gamma: 0.9, Epsilon: 0.2, q: map[[3]int][6]float64{}}
+}
+
+// actions: (from, to) pairs among 3 components.
+var tunerActions = [6][2]int{{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}
+
+func applyAction(alloc [3]int, a int) ([3]int, bool) {
+	from, to := tunerActions[a][0], tunerActions[a][1]
+	if alloc[from] == 0 {
+		return alloc, false
+	}
+	alloc[from]--
+	alloc[to]++
+	return alloc, true
+}
+
+// Run performs episodes of Q-learning against the environment and returns
+// the best allocation observed. Each step measures the environment once.
+func (t *QTuner) Run(rng *rand.Rand, e *KnobEnv, episodes, stepsPerEpisode int) (best [3]int, bestVal float64) {
+	bestVal = -1
+	for ep := 0; ep < episodes; ep++ {
+		// Random start on the simplex.
+		b := rng.Intn(e.Units + 1)
+		s := rng.Intn(e.Units - b + 1)
+		state := [3]int{b, s, e.Units - b - s}
+		for step := 0; step < stepsPerEpisode; step++ {
+			var a int
+			if rng.Float64() < t.Epsilon {
+				a = rng.Intn(6)
+			} else {
+				a = t.bestAction(state)
+			}
+			next, ok := applyAction(state, a)
+			if !ok {
+				continue
+			}
+			r := e.Measure(next)
+			if r > bestVal {
+				bestVal = r
+				best = next
+			}
+			qs := t.q[state]
+			nextBest := t.q[next][t.bestAction(next)]
+			qs[a] += t.Alpha * (r + t.Gamma*nextBest - qs[a])
+			t.q[state] = qs
+			state = next
+		}
+	}
+	return best, bestVal
+}
+
+func (t *QTuner) bestAction(state [3]int) int {
+	qs := t.q[state]
+	best := 0
+	for a := 1; a < 6; a++ {
+		if qs[a] > qs[best] {
+			best = a
+		}
+	}
+	return best
+}

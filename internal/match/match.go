@@ -1,0 +1,199 @@
+// Package match implements learned entity matching (Part 2's "enhancing
+// data integration through more accurate entity matching", Mudgal et al.):
+// record pairs from two dirty sources are featurised by per-attribute
+// similarities and classified as match/non-match by a small network, which
+// learns per-attribute reliability weights a hand-tuned similarity
+// threshold cannot express.
+package match
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// Record is one source's view of an entity: numeric attributes, some
+// possibly missing (NaN).
+type Record struct {
+	EntityID int // ground truth, used only for labelling pairs
+	Attrs    []float64
+}
+
+// Corpus is a pair of sources describing an overlapping entity set.
+type Corpus struct {
+	A, B     []Record
+	NumAttrs int
+}
+
+// CorpusConfig controls synthetic corpus generation.
+type CorpusConfig struct {
+	Entities int
+	Attrs    int
+	// NoiseByAttr scales per-attribute corruption: some attributes are
+	// reliable, others noisy — the structure the learned matcher exploits.
+	NoiseByAttr []float64
+	// MissingRate is the probability an attribute is NaN in source B.
+	MissingRate float64
+}
+
+// GenerateCorpus creates two sources over the same entities with
+// heterogeneous attribute noise.
+func GenerateCorpus(rng *rand.Rand, cfg CorpusConfig) *Corpus {
+	if len(cfg.NoiseByAttr) != cfg.Attrs {
+		panic("match: NoiseByAttr length must equal Attrs")
+	}
+	c := &Corpus{NumAttrs: cfg.Attrs}
+	for e := 0; e < cfg.Entities; e++ {
+		truth := make([]float64, cfg.Attrs)
+		for a := range truth {
+			truth[a] = rng.NormFloat64() * 3
+		}
+		mk := func(missing bool) Record {
+			r := Record{EntityID: e, Attrs: make([]float64, cfg.Attrs)}
+			for a := range r.Attrs {
+				r.Attrs[a] = truth[a] + cfg.NoiseByAttr[a]*rng.NormFloat64()
+				if missing && rng.Float64() < cfg.MissingRate {
+					r.Attrs[a] = math.NaN()
+				}
+			}
+			return r
+		}
+		c.A = append(c.A, mk(false))
+		c.B = append(c.B, mk(true))
+	}
+	return c
+}
+
+// PairFeatures encodes a candidate record pair: per-attribute |difference|
+// squashed to (0, 1] similarity, plus a missing indicator per attribute.
+func PairFeatures(a, b Record) []float64 {
+	f := make([]float64, 2*len(a.Attrs))
+	for i := range a.Attrs {
+		if math.IsNaN(a.Attrs[i]) || math.IsNaN(b.Attrs[i]) {
+			f[2*i] = 0.5 // unknown similarity
+			f[2*i+1] = 1 // missing flag
+			continue
+		}
+		f[2*i] = 1 / (1 + math.Abs(a.Attrs[i]-b.Attrs[i]))
+	}
+	return f
+}
+
+// Pairs samples labelled training pairs: every true match plus `negRatio`
+// random non-matches per match.
+func Pairs(rng *rand.Rand, c *Corpus, negRatio int) (x *tensor.Tensor, labels []int) {
+	type pair struct {
+		a, b  int
+		label int
+	}
+	var ps []pair
+	for i := range c.A {
+		ps = append(ps, pair{i, i, 1})
+		for k := 0; k < negRatio; k++ {
+			j := rng.Intn(len(c.B))
+			if j == i {
+				continue
+			}
+			ps = append(ps, pair{i, j, 0})
+		}
+	}
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+	x = tensor.New(len(ps), 2*c.NumAttrs)
+	labels = make([]int, len(ps))
+	for r, p := range ps {
+		copy(x.Row(r), PairFeatures(c.A[p.a], c.B[p.b]))
+		labels[r] = p.label
+	}
+	return x, labels
+}
+
+// Matcher is a trained match/non-match classifier.
+type Matcher struct {
+	net *nn.Network
+}
+
+// TrainMatcher fits the matcher on labelled pairs.
+func TrainMatcher(rng *rand.Rand, x *tensor.Tensor, labels []int, epochs int) *Matcher {
+	net := nn.NewMLP(rng, nn.MLPConfig{In: x.Dim(1), Hidden: []int{16}, Out: 2})
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(x, nn.OneHot(labels, 2), nn.TrainConfig{Epochs: epochs, BatchSize: 64})
+	return &Matcher{net: net}
+}
+
+// Predict classifies pairs.
+func (m *Matcher) Predict(x *tensor.Tensor) []int { return m.net.Predict(x) }
+
+// RuleBaseline predicts a match when the MEAN attribute similarity exceeds
+// the threshold that maximises F1 on the training pairs — the strongest
+// uniform-weight rule.
+type RuleBaseline struct {
+	Threshold float64
+	attrs     int
+}
+
+// FitRule selects the best uniform threshold on training data.
+func FitRule(x *tensor.Tensor, labels []int, attrs int) *RuleBaseline {
+	n := x.Dim(0)
+	sims := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sims[i] = meanSim(x.Row(i), attrs)
+	}
+	cands := append([]float64(nil), sims...)
+	sort.Float64s(cands)
+	best, bestF1 := 0.5, -1.0
+	for _, th := range cands {
+		preds := make([]int, n)
+		for i := range preds {
+			if sims[i] >= th {
+				preds[i] = 1
+			}
+		}
+		if f1 := F1(preds, labels); f1 > bestF1 {
+			bestF1, best = f1, th
+		}
+	}
+	return &RuleBaseline{Threshold: best, attrs: attrs}
+}
+
+func meanSim(features []float64, attrs int) float64 {
+	var s float64
+	for i := 0; i < attrs; i++ {
+		s += features[2*i]
+	}
+	return s / float64(attrs)
+}
+
+// Predict applies the rule.
+func (r *RuleBaseline) Predict(x *tensor.Tensor) []int {
+	preds := make([]int, x.Dim(0))
+	for i := range preds {
+		if meanSim(x.Row(i), r.attrs) >= r.Threshold {
+			preds[i] = 1
+		}
+	}
+	return preds
+}
+
+// F1 computes the F1 score of binary predictions against labels.
+func F1(preds, labels []int) float64 {
+	var tp, fp, fn float64
+	for i := range preds {
+		switch {
+		case preds[i] == 1 && labels[i] == 1:
+			tp++
+		case preds[i] == 1 && labels[i] == 0:
+			fp++
+		case preds[i] == 0 && labels[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	p := tp / (tp + fp)
+	r := tp / (tp + fn)
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,108 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Entities: 800,
+		Attrs:    4,
+		// Attribute 0 is highly reliable, attribute 3 is junk.
+		NoiseByAttr: []float64{0.05, 0.4, 1.5, 6.0},
+		MissingRate: 0.15,
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := GenerateCorpus(rng, testCorpusConfig())
+	if len(c.A) != 800 || len(c.B) != 800 || c.NumAttrs != 4 {
+		t.Fatalf("corpus shape wrong: %d/%d/%d", len(c.A), len(c.B), c.NumAttrs)
+	}
+	// Source B has some missing values; source A none.
+	missing := 0
+	for _, r := range c.B {
+		for _, v := range r.Attrs {
+			if math.IsNaN(v) {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("no missing values injected")
+	}
+}
+
+func TestPairFeaturesRanges(t *testing.T) {
+	a := Record{Attrs: []float64{1, 2}}
+	b := Record{Attrs: []float64{1, math.NaN()}}
+	f := PairFeatures(a, b)
+	if len(f) != 4 {
+		t.Fatalf("feature len %d", len(f))
+	}
+	if f[0] != 1 { // identical attribute → similarity 1
+		t.Fatalf("identical attr similarity %g", f[0])
+	}
+	if f[2] != 0.5 || f[3] != 1 {
+		t.Fatalf("missing attr encoding %v", f)
+	}
+	for _, v := range f {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature out of range: %v", f)
+		}
+	}
+}
+
+func TestF1HandComputed(t *testing.T) {
+	preds := []int{1, 1, 0, 0}
+	labels := []int{1, 0, 1, 0}
+	// tp=1 fp=1 fn=1 → P=R=0.5 → F1=0.5.
+	if got := F1(preds, labels); got != 0.5 {
+		t.Fatalf("F1 %g", got)
+	}
+	if F1([]int{0, 0}, []int{1, 1}) != 0 {
+		t.Fatal("no-TP F1 should be 0")
+	}
+}
+
+func TestLearnedMatcherBeatsUniformRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := testCorpusConfig()
+	train := GenerateCorpus(rng, cfg)
+	test := GenerateCorpus(rng, cfg)
+
+	xTrain, yTrain := Pairs(rng, train, 3)
+	xTest, yTest := Pairs(rng, test, 3)
+
+	m := TrainMatcher(rand.New(rand.NewSource(3)), xTrain, yTrain, 20)
+	learnedF1 := F1(m.Predict(xTest), yTest)
+
+	rule := FitRule(xTrain, yTrain, cfg.Attrs)
+	ruleF1 := F1(rule.Predict(xTest), yTest)
+
+	t.Logf("F1: learned %.3f, uniform rule %.3f", learnedF1, ruleF1)
+	if learnedF1 <= ruleF1 {
+		t.Fatalf("learned matcher (%.3f) should beat the uniform rule (%.3f) under heterogeneous noise", learnedF1, ruleF1)
+	}
+	if learnedF1 < 0.85 {
+		t.Fatalf("learned matcher F1 %.3f too low", learnedF1)
+	}
+}
+
+func TestRuleBaselineIsBestUniformThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := GenerateCorpus(rng, testCorpusConfig())
+	x, y := Pairs(rng, c, 3)
+	rule := FitRule(x, y, 4)
+	base := F1(rule.Predict(x), y)
+	// Any other threshold should not beat the fitted one on train data.
+	for _, th := range []float64{0.2, 0.4, 0.6, 0.8} {
+		alt := &RuleBaseline{Threshold: th, attrs: 4}
+		if F1(alt.Predict(x), y) > base+1e-9 {
+			t.Fatalf("threshold %g beats the fitted rule", th)
+		}
+	}
+}

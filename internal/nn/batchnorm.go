@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math"
+
+	"dlsys/internal/tensor"
+)
+
+// BatchNorm normalises each feature of a rank-2 [batch, features] input to
+// zero mean and unit variance over the batch, then applies a learned affine
+// transform (gamma, beta). During inference it uses exponentially-averaged
+// running statistics.
+type BatchNorm struct {
+	name        string
+	Gamma, Beta *Param
+	Momentum    float64
+	Eps         float64
+
+	runningMean, runningVar []float64
+
+	// caches for backward
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewBatchNorm creates a BatchNorm layer over the given feature width.
+func NewBatchNorm(name string, features int) *BatchNorm {
+	g := tensor.Full(1, 1, features)
+	b := tensor.New(1, features)
+	rv := make([]float64, features)
+	for i := range rv {
+		rv[i] = 1
+	}
+	return &BatchNorm{
+		name:        name,
+		Gamma:       NewParam(name+".gamma", g),
+		Beta:        NewParam(name+".beta", b),
+		Momentum:    0.9,
+		Eps:         1e-5,
+		runningMean: make([]float64, features),
+		runningVar:  rv,
+	}
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return bn.name }
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m, n := x.Dim(0), x.Dim(1)
+	out := tensor.New(m, n)
+	if !train {
+		for j := 0; j < n; j++ {
+			invStd := 1 / math.Sqrt(bn.runningVar[j]+bn.Eps)
+			g, b := bn.Gamma.Value.Data[j], bn.Beta.Value.Data[j]
+			mu := bn.runningMean[j]
+			for i := 0; i < m; i++ {
+				out.Data[i*n+j] = g*(x.Data[i*n+j]-mu)*invStd + b
+			}
+		}
+		return out
+	}
+	bn.xhat = tensor.New(m, n)
+	bn.invStd = make([]float64, n)
+	for j := 0; j < n; j++ {
+		var mu float64
+		for i := 0; i < m; i++ {
+			mu += x.Data[i*n+j]
+		}
+		mu /= float64(m)
+		var v float64
+		for i := 0; i < m; i++ {
+			d := x.Data[i*n+j] - mu
+			v += d * d
+		}
+		v /= float64(m)
+		invStd := 1 / math.Sqrt(v+bn.Eps)
+		bn.invStd[j] = invStd
+		g, b := bn.Gamma.Value.Data[j], bn.Beta.Value.Data[j]
+		for i := 0; i < m; i++ {
+			xh := (x.Data[i*n+j] - mu) * invStd
+			bn.xhat.Data[i*n+j] = xh
+			out.Data[i*n+j] = g*xh + b
+		}
+		bn.runningMean[j] = bn.Momentum*bn.runningMean[j] + (1-bn.Momentum)*mu
+		bn.runningVar[j] = bn.Momentum*bn.runningVar[j] + (1-bn.Momentum)*v
+	}
+	return out
+}
+
+// Backward implements Layer, using the standard batch-norm gradient:
+// dx = (gamma·invStd/m)·(m·dy − Σdy − x̂·Σ(dy·x̂)).
+func (bn *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if bn.xhat == nil {
+		panic("nn: BatchNorm.Backward without training Forward")
+	}
+	m, n := dout.Dim(0), dout.Dim(1)
+	dx := tensor.New(m, n)
+	fm := float64(m)
+	for j := 0; j < n; j++ {
+		var sumDy, sumDyXhat float64
+		for i := 0; i < m; i++ {
+			dy := dout.Data[i*n+j]
+			sumDy += dy
+			sumDyXhat += dy * bn.xhat.Data[i*n+j]
+		}
+		bn.Gamma.Grad.Data[j] += sumDyXhat
+		bn.Beta.Grad.Data[j] += sumDy
+		coef := bn.Gamma.Value.Data[j] * bn.invStd[j] / fm
+		for i := 0; i < m; i++ {
+			dy := dout.Data[i*n+j]
+			xh := bn.xhat.Data[i*n+j]
+			dx.Data[i*n+j] = coef * (fm*dy - sumDy - xh*sumDyXhat)
+		}
+	}
+	bn.xhat = nil
+	bn.invStd = nil
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// OutputShape implements OutputShaper.
+func (bn *BatchNorm) OutputShape(in []int) []int { return in }
+
+// RunningStats exposes the inference statistics (for serialization).
+func (bn *BatchNorm) RunningStats() (mean, variance []float64) {
+	return bn.runningMean, bn.runningVar
+}
+
+// SetRunningStats overwrites the inference statistics (for deserialization).
+func (bn *BatchNorm) SetRunningStats(mean, variance []float64) {
+	copy(bn.runningMean, mean)
+	copy(bn.runningVar, variance)
+}

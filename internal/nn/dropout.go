@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+
+	"dlsys/internal/tensor"
+)
+
+// Dropout randomly zeroes a fraction Rate of activations during training and
+// rescales the survivors by 1/(1-Rate) (inverted dropout), so inference is a
+// no-op.
+type Dropout struct {
+	name string
+	Rate float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+// NewDropout creates a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rng *rand.Rand, name string, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0, 1)")
+	}
+	return &Dropout{name: name, Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		return x
+	}
+	scale := 1 / (1 - d.Rate)
+	out := tensor.New(x.Shape()...)
+	d.keep = make([]bool, x.Size())
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.Rate {
+			d.keep[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return dout
+	}
+	scale := 1 / (1 - d.Rate)
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		if d.keep[i] {
+			dx.Data[i] = v * scale
+		}
+	}
+	d.keep = nil
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutputShape implements OutputShaper.
+func (d *Dropout) OutputShape(in []int) []int { return in }

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math/rand"
+
+	"dlsys/internal/tensor"
+)
+
+// newZeroRand returns a deterministic RNG used where initial weights are
+// immediately overwritten (deserialization).
+func newZeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
+// Residual wraps an inner layer stack with an identity skip connection:
+// y = x + F(x). Input and output widths must match. Residual connections
+// are what let the "dozens of layers" networks the tutorial describes train
+// at depth: the identity path keeps gradients flowing.
+type Residual struct {
+	name  string
+	Inner []Layer
+}
+
+// NewResidual creates a residual block around the given inner layers.
+func NewResidual(name string, inner ...Layer) *Residual {
+	return &Residual{name: name, Inner: inner}
+}
+
+// NewResidualMLPBlock builds the standard two-layer residual block
+// Dense→ReLU→Dense of the given width.
+func NewResidualMLPBlock(rng *rand.Rand, name string, width int) *Residual {
+	return NewResidual(name,
+		NewDense(rng, name+".fc0", width, width),
+		NewReLU(name+".relu"),
+		NewDense(rng, name+".fc1", width, width),
+	)
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	for _, l := range r.Inner {
+		h = l.Forward(h, train)
+	}
+	if !h.SameShape(x) {
+		panic("nn: residual inner stack changed the shape")
+	}
+	return tensor.Add(x, h)
+}
+
+// Backward implements Layer: the gradient splits between the skip path
+// (identity) and the inner stack.
+func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dh := dout
+	for i := len(r.Inner) - 1; i >= 0; i-- {
+		dh = r.Inner[i].Backward(dh)
+	}
+	return tensor.Add(dout, dh)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.Inner {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// FLOPs implements FLOPsCounter.
+func (r *Residual) FLOPs(batch int) int64 {
+	var total int64
+	for _, l := range r.Inner {
+		if fc, ok := l.(FLOPsCounter); ok {
+			total += fc.FLOPs(batch)
+		}
+	}
+	return total
+}
+
+// OutputShape implements OutputShaper (identity by construction).
+func (r *Residual) OutputShape(in []int) []int { return in }
+
+// PostStep implements PostStepper for pruned inner layers.
+func (r *Residual) PostStep() {
+	for _, l := range r.Inner {
+		if ps, ok := l.(PostStepper); ok {
+			ps.PostStep()
+		}
+	}
+}

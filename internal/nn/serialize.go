@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Snapshot is a portable serialized form of a network's state: the MLP
+// configuration needed to rebuild the architecture plus the full state
+// dictionary. It covers networks built by NewMLP; custom layer stacks
+// should persist their own StateDict alongside their construction code.
+type Snapshot struct {
+	Config MLPConfig
+	State  map[string][]float64
+}
+
+// SaveMLP serializes an MLP (built with NewMLP using cfg) to bytes.
+func SaveMLP(net *Network, cfg MLPConfig) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(Snapshot{Config: cfg, State: net.StateDict()}); err != nil {
+		return nil, fmt.Errorf("nn: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadMLP rebuilds a network from SaveMLP output. The returned network uses
+// deterministic (then overwritten) initial weights, so no RNG is needed.
+func LoadMLP(data []byte) (*Network, MLPConfig, error) {
+	var snap Snapshot
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&snap); err != nil {
+		return nil, MLPConfig{}, fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	net := NewMLP(newZeroRand(), snap.Config)
+	net.LoadStateDict(snap.State)
+	return net, snap.Config, nil
+}

@@ -1,0 +1,187 @@
+// Package pipeline implements the declarative-interface opportunity from
+// Part 1's "Data Management Opportunities": a training/deployment pipeline
+// is SPECIFIED (dataset, architecture, compression, deployment target) and
+// the engine executes it end to end, returning a ledger of every metric in
+// the tutorial's tradeoff framework — accuracy, training cost, model size,
+// inference cost, and carbon footprint — so alternatives can be compared
+// like query plans.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsys/internal/data"
+	"dlsys/internal/device"
+	"dlsys/internal/distill"
+	"dlsys/internal/green"
+	"dlsys/internal/nn"
+	"dlsys/internal/prune"
+	"dlsys/internal/quant"
+)
+
+// Spec declares a pipeline. Zero values mean "skip that stage".
+type Spec struct {
+	// Data
+	Examples int // synthetic Gaussian-mixture examples (default 1000)
+	Features int // default 8
+	Classes  int // default 4
+	Sep      float64
+	Seed     int64
+
+	// Model + training
+	Hidden    []int
+	Epochs    int
+	BatchSize int
+	LR        float64
+
+	// Compression stages (applied in order: prune → distill → quantize)
+	PruneSparsity float64 // 0 = skip; prune + brief fine-tune
+	DistillWidth  int     // 0 = skip; distill into an MLP of this width
+	QuantizeBits  int     // 0 = skip; quantize-dequantize weights
+	IntInference  bool    // compile the int8 path for deployment metrics
+
+	// Deployment target for time/energy estimates
+	Device device.Profile // zero → device.GPUSmall
+	Region green.Region   // zero → green.MixedUS
+}
+
+// Ledger reports every tradeoff metric for the executed pipeline.
+type Ledger struct {
+	Accuracy       float64
+	TrainFLOPs     int64
+	TrainSeconds   float64 // on the declared device
+	TrainCO2Grams  float64
+	ModelBytes     int64 // deployed representation
+	InferenceFLOPs int64 // per single example
+	InferenceUs    float64
+	Stages         []string // human-readable trace of what ran
+}
+
+// String renders the ledger as one comparison row.
+func (l Ledger) String() string {
+	return fmt.Sprintf("acc=%.3f trainGFLOPs=%.2f train=%.3gs co2=%.3gg size=%dB infFLOPs=%d inf=%.3gus %v",
+		l.Accuracy, float64(l.TrainFLOPs)/1e9, l.TrainSeconds, l.TrainCO2Grams,
+		l.ModelBytes, l.InferenceFLOPs, l.InferenceUs, l.Stages)
+}
+
+func (s *Spec) defaults() {
+	if s.Examples == 0 {
+		s.Examples = 1000
+	}
+	if s.Features == 0 {
+		s.Features = 8
+	}
+	if s.Classes == 0 {
+		s.Classes = 4
+	}
+	if s.Sep == 0 {
+		s.Sep = 3
+	}
+	if len(s.Hidden) == 0 {
+		s.Hidden = []int{32, 32}
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 25
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 32
+	}
+	if s.LR == 0 {
+		s.LR = 0.01
+	}
+	if s.Device.Name == "" {
+		s.Device = device.GPUSmall
+	}
+	if s.Region.Name == "" {
+		s.Region = green.MixedUS
+	}
+}
+
+// Run executes the declared pipeline and returns its ledger.
+func Run(spec Spec) (Ledger, error) {
+	spec.defaults()
+	if spec.PruneSparsity < 0 || spec.PruneSparsity >= 1 {
+		return Ledger{}, fmt.Errorf("pipeline: prune sparsity %g out of [0,1)", spec.PruneSparsity)
+	}
+	if spec.QuantizeBits < 0 || spec.QuantizeBits > 16 && spec.QuantizeBits != 32 {
+		return Ledger{}, fmt.Errorf("pipeline: quantize bits %d out of range", spec.QuantizeBits)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	ds := data.GaussianMixture(rng, spec.Examples, spec.Features, spec.Classes, spec.Sep)
+	train, test := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, spec.Classes)
+
+	var ledger Ledger
+	cfg := nn.MLPConfig{In: spec.Features, Hidden: spec.Hidden, Out: spec.Classes}
+	net := nn.NewMLP(rng, cfg)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(spec.LR), rng)
+	stats := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs, BatchSize: spec.BatchSize})
+	ledger.TrainFLOPs += stats.FLOPs
+	ledger.Stages = append(ledger.Stages, fmt.Sprintf("train(%v,%dep)", spec.Hidden, spec.Epochs))
+
+	if spec.PruneSparsity > 0 {
+		prune.GlobalPrune(rng, net, spec.PruneSparsity, prune.Magnitude)
+		s := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs / 5, BatchSize: spec.BatchSize})
+		ledger.TrainFLOPs += s.FLOPs
+		ledger.Stages = append(ledger.Stages, fmt.Sprintf("prune(%.0f%%)", spec.PruneSparsity*100))
+	}
+
+	deployed := net
+	deployedCfg := cfg
+	if spec.DistillWidth > 0 {
+		sCfg := nn.MLPConfig{In: spec.Features, Hidden: []int{spec.DistillWidth}, Out: spec.Classes}
+		student := nn.NewMLP(rng, sCfg)
+		ds := distill.Distill(rng, net, student, train.X, y, distill.Config{
+			Alpha: 0.3, T: 3, Epochs: spec.Epochs, BatchSize: spec.BatchSize, LR: spec.LR,
+		})
+		ledger.TrainFLOPs += ds.FLOPs
+		deployed = student
+		deployedCfg = sCfg
+		ledger.Stages = append(ledger.Stages, fmt.Sprintf("distill(w=%d)", spec.DistillWidth))
+	}
+
+	ledger.ModelBytes = deployed.ParamBytes(32)
+	if spec.PruneSparsity > 0 && spec.DistillWidth == 0 {
+		// The pruned network deploys in a sparse format.
+		ledger.ModelBytes = prune.NonzeroParamBytes(deployed)
+	}
+	if spec.QuantizeBits > 0 && spec.QuantizeBits < 32 {
+		state, bytes := quant.QuantizeNetwork(deployed, spec.QuantizeBits)
+		qnet := nn.NewMLP(rand.New(rand.NewSource(spec.Seed+2)), deployedCfg)
+		qnet.LoadStateDict(state)
+		deployed = qnet
+		ledger.ModelBytes = bytes
+		ledger.Stages = append(ledger.Stages, fmt.Sprintf("quantize(%db)", spec.QuantizeBits))
+	}
+
+	if spec.IntInference {
+		im := quant.CompileIntMLP(deployed)
+		ledger.Accuracy = im.Accuracy(test.X, test.Labels)
+		ledger.ModelBytes = im.Bytes()
+		ledger.Stages = append(ledger.Stages, "int8-deploy")
+	} else {
+		ledger.Accuracy = deployed.Accuracy(test.X, test.Labels)
+	}
+
+	ledger.InferenceFLOPs = deployed.FLOPs(1)
+	ledger.InferenceUs = spec.Device.ComputeTime(ledger.InferenceFLOPs, 0.5) * 1e6
+	ledger.TrainSeconds = spec.Device.ComputeTime(ledger.TrainFLOPs, 0.5)
+	fp := green.Estimate(ledger.TrainFLOPs, spec.Device, spec.Region, 0.5)
+	ledger.TrainCO2Grams = fp.CO2Grams
+	return ledger, nil
+}
+
+// Compare runs several specs and returns their ledgers in order — the
+// "query plans for ML pipelines" comparison the declarative framing buys.
+func Compare(specs ...Spec) ([]Ledger, error) {
+	out := make([]Ledger, 0, len(specs))
+	for i, s := range specs {
+		l, err := Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %d: %w", i, err)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

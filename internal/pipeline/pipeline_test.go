@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsTrainOnly(t *testing.T) {
+	l, err := Run(Spec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Accuracy < 0.9 {
+		t.Fatalf("accuracy %.3f", l.Accuracy)
+	}
+	if l.TrainFLOPs == 0 || l.ModelBytes == 0 || l.InferenceFLOPs == 0 {
+		t.Fatalf("ledger incomplete: %+v", l)
+	}
+	if len(l.Stages) != 1 || !strings.HasPrefix(l.Stages[0], "train") {
+		t.Fatalf("stages %v", l.Stages)
+	}
+	if l.TrainCO2Grams <= 0 || l.TrainSeconds <= 0 {
+		t.Fatal("deployment estimates missing")
+	}
+}
+
+func TestFullCompressionPipeline(t *testing.T) {
+	l, err := Run(Spec{
+		Seed: 2, PruneSparsity: 0.5, DistillWidth: 8, QuantizeBits: 8, IntInference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"train", "prune", "distill", "quantize", "int8-deploy"}
+	if len(l.Stages) != len(want) {
+		t.Fatalf("stages %v", l.Stages)
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(l.Stages[i], w) {
+			t.Fatalf("stage %d = %s, want %s*", i, l.Stages[i], w)
+		}
+	}
+	if l.Accuracy < 0.8 {
+		t.Fatalf("compressed pipeline accuracy %.3f", l.Accuracy)
+	}
+}
+
+func TestCompressionShrinksDeployment(t *testing.T) {
+	base, err := Run(Spec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(Spec{Seed: 3, DistillWidth: 8, QuantizeBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.ModelBytes >= base.ModelBytes/4 {
+		t.Fatalf("compressed model %dB not well below base %dB", small.ModelBytes, base.ModelBytes)
+	}
+	if small.InferenceFLOPs >= base.InferenceFLOPs {
+		t.Fatal("distilled model should be cheaper to run")
+	}
+	if small.Accuracy < base.Accuracy-0.1 {
+		t.Fatalf("compression cost too much accuracy: %.3f vs %.3f", small.Accuracy, base.Accuracy)
+	}
+}
+
+func TestCompareOrdersAndErrors(t *testing.T) {
+	ls, err := Compare(Spec{Seed: 4}, Spec{Seed: 4, QuantizeBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 {
+		t.Fatalf("got %d ledgers", len(ls))
+	}
+	if ls[1].ModelBytes >= ls[0].ModelBytes {
+		t.Fatal("4-bit pipeline should be smaller")
+	}
+	if _, err := Compare(Spec{Seed: 5, PruneSparsity: 2}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	l, err := Run(Spec{Seed: 6, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.String()
+	for _, want := range []string{"acc=", "trainGFLOPs=", "size="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("ledger string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestInvalidSpecs(t *testing.T) {
+	if _, err := Run(Spec{QuantizeBits: 20}); err == nil {
+		t.Fatal("bits=20 should be rejected")
+	}
+	if _, err := Run(Spec{PruneSparsity: -0.1}); err == nil {
+		t.Fatal("negative sparsity should be rejected")
+	}
+}

@@ -1,0 +1,177 @@
+// Package planner implements the optimize-then-execute techniques of Part 1
+// of the tutorial (§2.2): FlexFlow-style parallelization-strategy search
+// (an execution simulator plus random/greedy/MCMC search over device
+// placements) and MorphNet-style iterative network resizing under a
+// resource constraint.
+package planner
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/device"
+	"dlsys/internal/nn"
+)
+
+// Op is one stage of a model's computation graph (a layer or fused block).
+type Op struct {
+	Name       string
+	FLOPs      int64 // per training step
+	ParamBytes int64
+	OutBytes   int64 // activation bytes flowing to the next op
+}
+
+// OpChain builds the op list for an MLP architecture at a batch size.
+func OpChain(arch nn.MLPConfig, batch int) []Op {
+	var ops []Op
+	prev := arch.In
+	widths := append(append([]int(nil), arch.Hidden...), arch.Out)
+	for i, w := range widths {
+		flops := int64(3) * int64(batch) * (2*int64(prev)*int64(w) + int64(w))
+		ops = append(ops, Op{
+			Name:       opName(i),
+			FLOPs:      flops,
+			ParamBytes: int64(prev*w+w) * 4,
+			OutBytes:   int64(batch*w) * 4,
+		})
+		prev = w
+	}
+	return ops
+}
+
+func opName(i int) string { return "op" + string(rune('0'+i%10)) }
+
+// Placement assigns each op to a device index.
+type Placement []int
+
+// Simulate returns the simulated per-step execution time of a placement:
+// per-op compute on its assigned device plus transfer time whenever
+// consecutive ops live on different devices. It is the cost model that
+// stands in for FlexFlow's execution simulator.
+func Simulate(ops []Op, devices []device.Profile, p Placement) float64 {
+	if len(p) != len(ops) {
+		panic("planner: placement length mismatch")
+	}
+	// Per-device serialized compute: ops on the same device share it.
+	busy := make([]float64, len(devices))
+	for i, op := range ops {
+		d := devices[p[i]]
+		busy[p[i]] += d.StepTime(op.FLOPs, op.ParamBytes, op.OutBytes, 0.5)
+	}
+	var compute float64
+	for _, b := range busy {
+		if b > compute {
+			compute = b
+		}
+	}
+	var transfer float64
+	for i := 1; i < len(ops); i++ {
+		if p[i] != p[i-1] {
+			transfer += device.TransferTime(devices[p[i-1]], devices[p[i]], ops[i-1].OutBytes)
+		}
+	}
+	// Pipeline steady state: the step rate is gated by the busiest device;
+	// cross-device hops add latency that is only partially hidden.
+	return compute + 0.5*transfer
+}
+
+// SearchResult reports a strategy search outcome.
+type SearchResult struct {
+	Best        Placement
+	BestTime    float64 // simulated seconds per step
+	Simulations int     // optimization effort spent
+}
+
+// RandomSearch samples placements uniformly and keeps the best.
+func RandomSearch(rng *rand.Rand, ops []Op, devices []device.Profile, samples int) SearchResult {
+	best := make(Placement, len(ops))
+	bestTime := math.Inf(1)
+	cur := make(Placement, len(ops))
+	for s := 0; s < samples; s++ {
+		for i := range cur {
+			cur[i] = rng.Intn(len(devices))
+		}
+		if t := Simulate(ops, devices, cur); t < bestTime {
+			bestTime = t
+			copy(best, cur)
+		}
+	}
+	return SearchResult{Best: best, BestTime: bestTime, Simulations: samples}
+}
+
+// GreedySearch assigns ops one at a time to the device minimising the
+// simulated time of the prefix placed so far (remaining ops pinned to
+// device 0).
+func GreedySearch(ops []Op, devices []device.Profile) SearchResult {
+	p := make(Placement, len(ops))
+	sims := 0
+	for i := range ops {
+		bestD, bestT := 0, math.Inf(1)
+		for d := range devices {
+			p[i] = d
+			t := Simulate(ops[:i+1], devices, p[:i+1])
+			sims++
+			if t < bestT {
+				bestT, bestD = t, d
+			}
+		}
+		p[i] = bestD
+	}
+	return SearchResult{Best: p, BestTime: Simulate(ops, devices, p), Simulations: sims}
+}
+
+// MCMCSearch runs simulated-annealing over placements, FlexFlow's search
+// strategy: propose a single-op move, accept improvements always and
+// regressions with temperature-scaled probability.
+func MCMCSearch(rng *rand.Rand, ops []Op, devices []device.Profile, iters int) SearchResult {
+	cur := make(Placement, len(ops))
+	for i := range cur {
+		cur[i] = rng.Intn(len(devices))
+	}
+	curT := Simulate(ops, devices, cur)
+	best := append(Placement(nil), cur...)
+	bestT := curT
+	for s := 0; s < iters; s++ {
+		i := rng.Intn(len(ops))
+		old := cur[i]
+		cur[i] = rng.Intn(len(devices))
+		t := Simulate(ops, devices, cur)
+		temp := 0.1 * bestT * (1 - float64(s)/float64(iters))
+		if t <= curT || (temp > 0 && rng.Float64() < math.Exp((curT-t)/temp)) {
+			curT = t
+			if t < bestT {
+				bestT = t
+				copy(best, cur)
+			}
+		} else {
+			cur[i] = old
+		}
+	}
+	return SearchResult{Best: best, BestTime: bestT, Simulations: iters}
+}
+
+// ExhaustiveSearch enumerates every placement — the ground-truth optimum,
+// feasible only for tiny graphs (|devices|^|ops| placements).
+func ExhaustiveSearch(ops []Op, devices []device.Profile) SearchResult {
+	p := make(Placement, len(ops))
+	best := make(Placement, len(ops))
+	bestTime := math.Inf(1)
+	sims := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(ops) {
+			sims++
+			if t := Simulate(ops, devices, p); t < bestTime {
+				bestTime = t
+				copy(best, p)
+			}
+			return
+		}
+		for d := range devices {
+			p[i] = d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return SearchResult{Best: best, BestTime: bestTime, Simulations: sims}
+}

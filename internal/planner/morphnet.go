@@ -1,0 +1,160 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// MLPFLOPs returns the forward FLOPs per example of an MLP with the given
+// hidden widths.
+func MLPFLOPs(in int, hidden []int, out int) int64 {
+	var total int64
+	prev := in
+	for _, h := range append(append([]int(nil), hidden...), out) {
+		total += 2*int64(prev)*int64(h) + int64(h)
+		prev = h
+	}
+	return total
+}
+
+// UniformScale shrinks all hidden widths by one multiplier chosen (by
+// bisection) so the MLP meets the FLOP budget — the baseline MorphNet must
+// beat.
+func UniformScale(in int, hidden []int, out int, budget int64) []int {
+	scale := 1.0
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 40; iter++ {
+		scale = (lo + hi) / 2
+		if MLPFLOPs(in, scaleWidths(hidden, scale), out) > budget {
+			hi = scale
+		} else {
+			lo = scale
+		}
+	}
+	return scaleWidths(hidden, lo)
+}
+
+func scaleWidths(hidden []int, s float64) []int {
+	out := make([]int, len(hidden))
+	for i, h := range hidden {
+		w := int(math.Round(float64(h) * s))
+		if w < 1 {
+			w = 1
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// MorphConfig controls the MorphNet-style resizing loop.
+type MorphConfig struct {
+	Base        nn.MLPConfig
+	BudgetFLOPs int64 // per-example forward budget
+	Iters       int   // shrink/expand rounds
+	TrainEpochs int   // brief training per round to estimate importance
+	BatchSize   int
+	LR          float64
+}
+
+// MorphResult reports the discovered architecture.
+type MorphResult struct {
+	Widths []int
+	FLOPs  int64
+	Net    *nn.Network
+}
+
+// Morph runs the iterative resize loop: train briefly, score each hidden
+// layer's units by the L1 norm of their incoming weights (the importance
+// signal MorphNet derives from its regulariser), reallocate width
+// proportionally to layer importance under the FLOP budget, and repeat. The
+// final architecture is trained from scratch for TrainEpochs and returned.
+func Morph(seed int64, x, y *tensor.Tensor, cfg MorphConfig) MorphResult {
+	widths := UniformScale(cfg.Base.In, cfg.Base.Hidden, cfg.Base.Out, cfg.BudgetFLOPs)
+	for iter := 0; iter < cfg.Iters; iter++ {
+		rng := rand.New(rand.NewSource(seed + int64(iter)))
+		arch := nn.MLPConfig{In: cfg.Base.In, Hidden: widths, Out: cfg.Base.Out}
+		net := nn.NewMLP(rng, arch)
+		tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(cfg.LR), rng)
+		tr.Fit(x, y, nn.TrainConfig{Epochs: cfg.TrainEpochs, BatchSize: cfg.BatchSize})
+		imp := layerImportances(net)
+		widths = allocateWidths(cfg.Base, imp, cfg.BudgetFLOPs)
+	}
+	rng := rand.New(rand.NewSource(seed + 9999))
+	arch := nn.MLPConfig{In: cfg.Base.In, Hidden: widths, Out: cfg.Base.Out}
+	net := nn.NewMLP(rng, arch)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(cfg.LR), rng)
+	tr.Fit(x, y, nn.TrainConfig{Epochs: cfg.TrainEpochs * cfg.Iters, BatchSize: cfg.BatchSize})
+	return MorphResult{Widths: widths, FLOPs: MLPFLOPs(arch.In, widths, arch.Out), Net: net}
+}
+
+// layerImportances scores each hidden layer by the mean absolute incoming
+// weight per unit: layers whose units carry large weights matter more.
+func layerImportances(net *nn.Network) []float64 {
+	var imps []float64
+	denses := 0
+	for _, l := range net.Layers {
+		d, ok := l.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		denses++
+		var s float64
+		for _, w := range d.W.Value.Data {
+			s += math.Abs(w)
+		}
+		imps = append(imps, s/float64(d.W.Value.Size()))
+	}
+	// Drop the output head: its width is fixed.
+	return imps[:denses-1]
+}
+
+// allocateWidths distributes hidden width proportionally to layer
+// importance, scaled by bisection to meet the budget.
+func allocateWidths(base nn.MLPConfig, imp []float64, budget int64) []int {
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total == 0 {
+		return UniformScale(base.In, base.Hidden, base.Out, budget)
+	}
+	// Shape: relative widths proportional to importance, anchored to the
+	// base widths' total mass.
+	baseTotal := 0
+	for _, h := range base.Hidden {
+		baseTotal += h
+	}
+	shape := make([]float64, len(imp))
+	for i, v := range imp {
+		shape[i] = v / total * float64(baseTotal)
+	}
+	lo, hi := 0.0, 4.0
+	for iter := 0; iter < 48; iter++ {
+		mid := (lo + hi) / 2
+		w := make([]int, len(shape))
+		for i := range shape {
+			w[i] = clampWidth(shape[i] * mid)
+		}
+		if MLPFLOPs(base.In, w, base.Out) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	out := make([]int, len(shape))
+	for i := range shape {
+		out[i] = clampWidth(shape[i] * lo)
+	}
+	return out
+}
+
+func clampWidth(v float64) int {
+	w := int(math.Round(v))
+	if w < 1 {
+		return 1
+	}
+	return w
+}

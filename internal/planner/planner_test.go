@@ -1,0 +1,154 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/device"
+	"dlsys/internal/nn"
+)
+
+var planArch = nn.MLPConfig{In: 256, Hidden: []int{512, 256, 128}, Out: 10}
+
+func heteroDevices() []device.Profile {
+	return []device.Profile{device.GPULarge, device.GPUSmall, device.CPUServer}
+}
+
+func TestOpChainShapes(t *testing.T) {
+	ops := OpChain(planArch, 32)
+	if len(ops) != 4 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	for _, op := range ops {
+		if op.FLOPs <= 0 || op.ParamBytes <= 0 || op.OutBytes <= 0 {
+			t.Fatalf("bad op %+v", op)
+		}
+	}
+}
+
+func TestSimulateSingleFastDeviceBeatsSlow(t *testing.T) {
+	ops := OpChain(planArch, 32)
+	devs := heteroDevices()
+	allFast := make(Placement, len(ops)) // all on GPULarge (index 0)
+	allSlow := make(Placement, len(ops))
+	for i := range allSlow {
+		allSlow[i] = 2 // CPU
+	}
+	if Simulate(ops, devs, allFast) >= Simulate(ops, devs, allSlow) {
+		t.Fatal("placing all ops on the fast device should beat the slow one")
+	}
+}
+
+func TestSimulateChargesTransfers(t *testing.T) {
+	ops := OpChain(planArch, 32)
+	devs := heteroDevices()
+	same := make(Placement, len(ops))
+	alternating := make(Placement, len(ops))
+	for i := range alternating {
+		alternating[i] = i % 2
+	}
+	// Alternating between two devices of which one is strictly faster can
+	// still lose to staying put when transfers dominate. At minimum the
+	// simulator must charge nonzero transfer cost.
+	tSame := Simulate(ops, devs, same)
+	tAlt := Simulate(ops, devs, alternating)
+	if tAlt <= tSame*0.5 {
+		t.Fatalf("alternating placement suspiciously cheap: %g vs %g", tAlt, tSame)
+	}
+}
+
+func TestMCMCFindsNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := OpChain(planArch, 32)
+	devs := heteroDevices()
+	opt := ExhaustiveSearch(ops, devs)
+	mcmc := MCMCSearch(rng, ops, devs, 2000)
+	if mcmc.BestTime > opt.BestTime*1.05 {
+		t.Fatalf("MCMC %.6g more than 5%% above optimum %.6g", mcmc.BestTime, opt.BestTime)
+	}
+}
+
+func TestMoreSearchEffortHelps(t *testing.T) {
+	ops := OpChain(nn.MLPConfig{In: 512, Hidden: []int{1024, 512, 512, 256, 256}, Out: 10}, 64)
+	devs := heteroDevices()
+	// Average over seeds: MCMC with a large budget should be at least as
+	// good as with a tiny budget.
+	var small, large float64
+	for seed := int64(0); seed < 5; seed++ {
+		small += MCMCSearch(rand.New(rand.NewSource(seed)), ops, devs, 10).BestTime
+		large += MCMCSearch(rand.New(rand.NewSource(seed)), ops, devs, 3000).BestTime
+	}
+	if large > small {
+		t.Fatalf("3000-iter MCMC (%g) worse than 10-iter (%g)", large/5, small/5)
+	}
+}
+
+func TestGreedyBeatsWorstCase(t *testing.T) {
+	ops := OpChain(planArch, 32)
+	devs := heteroDevices()
+	greedy := GreedySearch(ops, devs)
+	worst := make(Placement, len(ops))
+	for i := range worst {
+		worst[i] = 2
+	}
+	if greedy.BestTime >= Simulate(ops, devs, worst) {
+		t.Fatal("greedy should beat the all-CPU placement")
+	}
+	if greedy.Simulations == 0 {
+		t.Fatal("greedy recorded no simulations")
+	}
+}
+
+func TestMLPFLOPsFormula(t *testing.T) {
+	// 2*(4*8)+8 + 2*(8*2)+2 = 72 + 34 = 106
+	if got := MLPFLOPs(4, []int{8}, 2); got != 106 {
+		t.Fatalf("MLPFLOPs = %d, want 106", got)
+	}
+}
+
+func TestUniformScaleMeetsBudget(t *testing.T) {
+	full := MLPFLOPs(64, []int{128, 128}, 10)
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		budget := int64(float64(full) * frac)
+		w := UniformScale(64, []int{128, 128}, 10, budget)
+		if got := MLPFLOPs(64, w, 10); got > budget {
+			t.Fatalf("frac %.2f: %d FLOPs exceeds budget %d (widths %v)", frac, got, budget, w)
+		}
+		for _, h := range w {
+			if h < 1 {
+				t.Fatal("width collapsed below 1")
+			}
+		}
+	}
+}
+
+func TestMorphMeetsBudgetAndCompetesWithUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := data.GaussianMixture(rng, 700, 10, 4, 2.5)
+	train, test := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, 4)
+
+	base := nn.MLPConfig{In: 10, Hidden: []int{48, 48}, Out: 4}
+	budget := MLPFLOPs(10, base.Hidden, 4) / 4
+
+	res := Morph(7, train.X, y, MorphConfig{
+		Base: base, BudgetFLOPs: budget, Iters: 3, TrainEpochs: 8, BatchSize: 32, LR: 0.01,
+	})
+	if res.FLOPs > budget {
+		t.Fatalf("morphed net %d FLOPs exceeds budget %d", res.FLOPs, budget)
+	}
+	morphAcc := res.Net.Accuracy(test.X, test.Labels)
+
+	// Uniform baseline at the same budget and the same total training.
+	uw := UniformScale(10, base.Hidden, 4, budget)
+	urng := rand.New(rand.NewSource(8))
+	unet := nn.NewMLP(urng, nn.MLPConfig{In: 10, Hidden: uw, Out: 4})
+	nn.NewTrainer(unet, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), urng).
+		Fit(train.X, y, nn.TrainConfig{Epochs: 24, BatchSize: 32})
+	uniAcc := unet.Accuracy(test.X, test.Labels)
+
+	if morphAcc < uniAcc-0.08 {
+		t.Fatalf("morphed accuracy %.3f far below uniform %.3f", morphAcc, uniAcc)
+	}
+}

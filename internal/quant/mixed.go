@@ -1,0 +1,150 @@
+package quant
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// MixedAssignment maps each parameter (by name) to a bit width — the
+// memory-driven mixed-precision setting of Rusci et al. (§2.1): different
+// layers tolerate different precision, so a global byte budget is better
+// spent unevenly.
+type MixedAssignment map[string]int
+
+// Bytes returns the packed storage cost of the assignment over the
+// network's parameters.
+func (a MixedAssignment) Bytes(net *nn.Network) int64 {
+	var total int64
+	for _, p := range net.Params() {
+		bits, ok := a[p.Name]
+		if !ok {
+			bits = 32
+		}
+		total += (int64(p.Value.Size())*int64(bits)+7)/8 + 16
+	}
+	return total
+}
+
+// ApplyMixed returns a state dict with each parameter quantize-dequantized
+// at its assigned width.
+func ApplyMixed(net *nn.Network, a MixedAssignment) map[string][]float64 {
+	state := net.StateDict()
+	for _, p := range net.Params() {
+		bits, ok := a[p.Name]
+		if !ok || bits >= 32 {
+			continue
+		}
+		state[p.Name] = QuantizeLinear(p.Value, bits).Dequantize().Data
+	}
+	return state
+}
+
+// UniformAssignment gives every parameter the same width.
+func UniformAssignment(net *nn.Network, bits int) MixedAssignment {
+	a := MixedAssignment{}
+	for _, p := range net.Params() {
+		a[p.Name] = bits
+	}
+	return a
+}
+
+// LayerSensitivity measures, per parameter tensor, the loss increase caused
+// by quantizing ONLY that tensor to the probe width — the signal that
+// drives the mixed-precision search. Lower sensitivity = safe to squeeze.
+func LayerSensitivity(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, probeBits int) map[string]float64 {
+	base := evalLoss(net, loss, x, y)
+	out := map[string]float64{}
+	for _, p := range net.Params() {
+		orig := append([]float64(nil), p.Value.Data...)
+		q := QuantizeLinear(p.Value, probeBits)
+		copy(p.Value.Data, q.Dequantize().Data)
+		out[p.Name] = evalLoss(net, loss, x, y) - base
+		copy(p.Value.Data, orig)
+	}
+	return out
+}
+
+func evalLoss(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor) float64 {
+	return loss.Forward(net.Forward(x, false), y)
+}
+
+// MixedPrecisionSearch greedily assigns bit widths under a byte budget:
+// starting from every tensor at the highest candidate width, it repeatedly
+// drops the LEAST sensitive remaining tensor one step down the candidate
+// ladder until the budget is met. Returns the assignment and whether the
+// budget was achievable.
+func MixedPrecisionSearch(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, budget int64, candidates []int) (MixedAssignment, bool) {
+	if len(candidates) < 2 {
+		panic("quant: need at least two candidate widths")
+	}
+	sorted := append([]int(nil), candidates...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	sens := LayerSensitivity(net, loss, x, y, sorted[len(sorted)-1])
+
+	a := UniformAssignment(net, sorted[0])
+	level := map[string]int{} // index into sorted per param
+	sizes := map[string]int{}
+	for _, p := range net.Params() {
+		level[p.Name] = 0
+		sizes[p.Name] = p.Value.Size()
+	}
+	for a.Bytes(net) > budget {
+		// Drop the parameter with the least sensitivity PER BYTE SAVED:
+		// squeezing a huge insensitive tensor beats squeezing a tiny one.
+		bestName := ""
+		bestScore := 0.0
+		for _, p := range net.Params() {
+			lv := level[p.Name]
+			if lv >= len(sorted)-1 {
+				continue
+			}
+			saved := float64(sizes[p.Name]) * float64(sorted[lv]-sorted[lv+1]) / 8
+			if saved <= 0 {
+				continue
+			}
+			score := sens[p.Name] / saved
+			if bestName == "" || score < bestScore {
+				bestName, bestScore = p.Name, score
+			}
+		}
+		if bestName == "" {
+			return a, false // everything already at the floor
+		}
+		level[bestName]++
+		a[bestName] = sorted[level[bestName]]
+	}
+	return a, true
+}
+
+// MixedVsUniform runs the standard comparison: accuracy of the searched
+// mixed assignment against the best uniform assignment fitting the same
+// budget. Returns (mixedAcc, uniformAcc, mixedBytes, uniformBytes).
+func MixedVsUniform(rng *rand.Rand, net *nn.Network, cfg nn.MLPConfig, loss nn.Loss,
+	calibX, calibY, testX *tensor.Tensor, testLabels []int, budget int64, candidates []int) (float64, float64, int64, int64, error) {
+	mixed, ok := MixedPrecisionSearch(net, loss, calibX, calibY, budget, candidates)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("quant: budget %d unreachable", budget)
+	}
+	mnet := nn.NewMLP(rng, cfg)
+	mnet.LoadStateDict(ApplyMixed(net, mixed))
+	mixedAcc := mnet.Accuracy(testX, testLabels)
+
+	// Best uniform width that fits the budget.
+	uniBits := 0
+	for _, b := range candidates {
+		if UniformAssignment(net, b).Bytes(net) <= budget && b > uniBits {
+			uniBits = b
+		}
+	}
+	if uniBits == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("quant: no uniform width fits budget %d", budget)
+	}
+	uni := UniformAssignment(net, uniBits)
+	unet := nn.NewMLP(rng, cfg)
+	unet.LoadStateDict(ApplyMixed(net, uni))
+	return mixedAcc, unet.Accuracy(testX, testLabels), mixed.Bytes(net), uni.Bytes(net), nil
+}

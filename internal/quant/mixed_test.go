@@ -1,0 +1,118 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/nn"
+)
+
+func TestUniformAssignmentBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 4, Hidden: []int{8}, Out: 2})
+	a32 := UniformAssignment(net, 32)
+	a8 := UniformAssignment(net, 8)
+	if a8.Bytes(net) >= a32.Bytes(net) {
+		t.Fatal("8-bit assignment should be smaller")
+	}
+	// Unassigned params default to 32 bits.
+	partial := MixedAssignment{}
+	if partial.Bytes(net) != a32.Bytes(net) {
+		t.Fatal("default width should be 32")
+	}
+}
+
+func TestLayerSensitivityNonNegativeAtHighBits(t *testing.T) {
+	net, train, _, _ := trainSmallMLP(t)
+	loss := nn.NewSoftmaxCrossEntropy()
+	y := nn.OneHot(train.Labels, 3)
+	sens := LayerSensitivity(net, loss, train.X, y, 2)
+	if len(sens) != len(net.Params()) {
+		t.Fatalf("sensitivity entries %d != params %d", len(sens), len(net.Params()))
+	}
+	// Quantizing to 2 bits should hurt (or at least not help much) for the
+	// majority of tensors.
+	hurt := 0
+	for _, v := range sens {
+		if v > 0 {
+			hurt++
+		}
+	}
+	if hurt < len(sens)/2 {
+		t.Fatalf("only %d/%d tensors sensitive to 2-bit quantization", hurt, len(sens))
+	}
+	// The probe must leave the network unchanged.
+	for _, p := range net.Params() {
+		for _, v := range p.Value.Data {
+			if v != v { // NaN guard
+				t.Fatal("probe corrupted weights")
+			}
+		}
+	}
+}
+
+func TestMixedSearchRespectsBudget(t *testing.T) {
+	net, train, _, _ := trainSmallMLP(t)
+	loss := nn.NewSoftmaxCrossEntropy()
+	y := nn.OneHot(train.Labels, 3)
+	candidates := []int{8, 4, 2}
+	full := UniformAssignment(net, 8).Bytes(net)
+	budget := full * 6 / 10
+	a, ok := MixedPrecisionSearch(net, loss, train.X, y, budget, candidates)
+	if !ok {
+		t.Fatal("search failed")
+	}
+	if got := a.Bytes(net); got > budget {
+		t.Fatalf("assignment %d bytes exceeds budget %d", got, budget)
+	}
+	// At least one tensor must remain above the floor and one below the top.
+	var atTop, belowTop int
+	for _, bits := range a {
+		if bits == 8 {
+			atTop++
+		} else {
+			belowTop++
+		}
+	}
+	if belowTop == 0 {
+		t.Fatal("nothing was squeezed")
+	}
+}
+
+func TestMixedSearchUnreachableBudget(t *testing.T) {
+	net, train, _, _ := trainSmallMLP(t)
+	loss := nn.NewSoftmaxCrossEntropy()
+	y := nn.OneHot(train.Labels, 3)
+	if _, ok := MixedPrecisionSearch(net, loss, train.X, y, 10, []int{8, 2}); ok {
+		t.Fatal("10-byte budget should be unreachable")
+	}
+}
+
+func TestMixedBeatsOrMatchesUniformAtEqualBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ds := data.GaussianMixture(rng, 800, 6, 3, 2.5)
+	train, test := ds.Split(rng, 0.8)
+	cfg := nn.MLPConfig{In: 6, Hidden: []int{32, 32}, Out: 3}
+	net := nn.NewMLP(rng, cfg)
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rng)
+	tr.Fit(train.X, nn.OneHot(train.Labels, 3), nn.TrainConfig{Epochs: 30, BatchSize: 32})
+
+	// Budget sits between uniform-4 and uniform-2: mixed can spend it
+	// unevenly, uniform has to fall back to 2 bits everywhere.
+	candidates := []int{8, 4, 2}
+	budget := UniformAssignment(net, 4).Bytes(net)*8/10 + UniformAssignment(net, 2).Bytes(net)*2/10
+	mixedAcc, uniAcc, mBytes, uBytes, err := MixedVsUniform(
+		rand.New(rand.NewSource(1)), net, cfg, nn.NewSoftmaxCrossEntropy(),
+		train.X, nn.OneHot(train.Labels, 3), test.X, test.Labels, budget, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mBytes > budget || uBytes > budget {
+		t.Fatalf("budget violated: mixed %d uniform %d budget %d", mBytes, uBytes, budget)
+	}
+	t.Logf("budget %d: mixed %.3f (%dB) vs uniform %.3f (%dB)", budget, mixedAcc, mBytes, uniAcc, uBytes)
+	if mixedAcc < uniAcc-0.02 {
+		t.Fatalf("mixed precision (%.3f) should not lose to uniform (%.3f) at equal budget", mixedAcc, uniAcc)
+	}
+}

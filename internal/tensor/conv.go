@@ -1,0 +1,96 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution over NCHW tensors.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Im2Col lowers a batch of NCHW images to a matrix so convolution becomes a
+// matrix multiplication. The input must have shape [N, C, H, W]; the result
+// has shape [N*OutH*OutW, C*KH*KW], one row per output spatial position.
+func Im2Col(in *Tensor, g ConvGeom) *Tensor {
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires rank-4 input, got %v", in.shape))
+	}
+	n := in.shape[0]
+	if in.shape[1] != g.InC || in.shape[2] != g.InH || in.shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", in.shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(n*oh*ow, g.InC*g.KH*g.KW)
+	rowLen := g.InC * g.KH * g.KW
+	for b := 0; b < n; b++ {
+		base := b * g.InC * g.InH * g.InW
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				r := ((b*oh)+oy)*ow + ox
+				dst := cols.Data[r*rowLen : (r+1)*rowLen]
+				di := 0
+				for c := 0; c < g.InC; c++ {
+					cbase := base + c*g.InH*g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								dst[di] = in.Data[cbase+iy*g.InW+ix]
+							} else {
+								dst[di] = 0
+							}
+							di++
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) a column matrix
+// of shape [N*OutH*OutW, C*KH*KW] back into an NCHW tensor of shape
+// [N, C, H, W]. Overlapping patches sum, which is exactly the gradient of
+// Im2Col.
+func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	rowLen := g.InC * g.KH * g.KW
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v (n=%d)", cols.shape, g, n))
+	}
+	out := New(n, g.InC, g.InH, g.InW)
+	for b := 0; b < n; b++ {
+		base := b * g.InC * g.InH * g.InW
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				r := ((b*oh)+oy)*ow + ox
+				src := cols.Data[r*rowLen : (r+1)*rowLen]
+				si := 0
+				for c := 0; c < g.InC; c++ {
+					cbase := base + c*g.InH*g.InW
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride + ky - g.Pad
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride + kx - g.Pad
+							if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+								out.Data[cbase+iy*g.InW+ix] += src[si]
+							}
+							si++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u element-wise. Shapes must match.
+func Add(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a + b }) }
+
+// Sub returns t - u element-wise. Shapes must match.
+func Sub(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a - b }) }
+
+// Mul returns the element-wise (Hadamard) product t ⊙ u. Shapes must match.
+func Mul(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a * b }) }
+
+// Div returns t / u element-wise. Shapes must match.
+func Div(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a / b }) }
+
+func zipNew(t, u *Tensor, f func(a, b float64) float64) *Tensor {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = f(t.Data[i], u.Data[i])
+	}
+	return out
+}
+
+// AddInPlace adds u into t element-wise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += u.Data[i]
+	}
+}
+
+// AxpyInPlace computes t += alpha*u element-wise.
+func (t *Tensor) AxpyInPlace(alpha float64, u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * u.Data[i]
+	}
+}
+
+// Scale returns alpha * t.
+func Scale(alpha float64, t *Tensor) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = alpha * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of t by alpha.
+func (t *Tensor) ScaleInPlace(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// MatMul returns the matrix product of two rank-2 tensors: (m×k)·(k×n) → m×n.
+// The inner loop is ordered i-k-j so the innermost traversal is sequential
+// over both the output row and the right operand row, which is
+// cache-friendly for the row-major layout. Products large enough to
+// amortise goroutine overhead are partitioned across CPUs by output row —
+// the partitioning is deterministic, so results are bit-identical to the
+// serial path.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	if int64(m)*int64(n)*int64(k) >= parallelFLOPThreshold && m >= 2 {
+		parallelRows(m, func(lo, hi int) {
+			matMulRows(a, b, out, lo, hi)
+		})
+		return out
+	}
+	matMulRows(a, b, out, 0, m)
+	return out
+}
+
+// matMulRows computes output rows [lo, hi) of a·b into out.
+func matMulRows(a, b, out *Tensor, lo, hi int) {
+	k, n := a.shape[1], b.shape[1]
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a · bᵀ for rank-2 tensors: (m×k)·(n×k)ᵀ → m×n.
+// Used by backward passes to avoid materialising transposes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransA returns aᵀ · b for rank-2 tensors: (k×m)ᵀ·(k×n) → m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose requires rank 2")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the largest element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns the largest absolute value, or 0 for an empty tensor.
+func (t *Tensor) AbsMax() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRow returns the index of the maximum value in row i of a rank-2
+// tensor, breaking ties toward the lower index.
+func (t *Tensor) ArgMaxRow(i int) int {
+	row := t.Row(i)
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// SumRows reduces a rank-2 tensor over its rows, returning a 1×n tensor
+// where out[j] = Σ_i t[i,j]. Used for bias gradients.
+func SumRows(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: SumRows requires rank 2")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(1, n)
+	for i := 0; i < m; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a 1×n row vector to every row of an m×n tensor,
+// returning a new tensor (broadcast over the leading axis).
+func AddRowVector(t, v *Tensor) *Tensor {
+	if t.Rank() != 2 || v.Rank() != 2 || v.shape[0] != 1 || v.shape[1] != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", t.shape, v.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := range row {
+			orow[j] = row[j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Equal reports whether t and u have the same shape and all elements are
+// within tol of each other.
+func Equal(t, u *Tensor, tol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i := range t.Data {
+		if math.Abs(t.Data[i]-u.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

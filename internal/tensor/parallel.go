@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFLOPThreshold is the multiply-add count below which spawning
+// goroutines costs more than it saves.
+const parallelFLOPThreshold = 1 << 20 // ~1M fused ops
+
+// parallelRows splits [0, m) into one contiguous chunk per worker and runs
+// fn on each chunk concurrently. Chunk boundaries depend only on m and the
+// worker count, and each output row is written by exactly one goroutine, so
+// results are deterministic.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
