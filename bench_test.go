@@ -7,6 +7,8 @@ import (
 
 	"dlsys/internal/data"
 	"dlsys/internal/db"
+	"dlsys/internal/distributed"
+	"dlsys/internal/fault"
 	"dlsys/internal/learned"
 	"dlsys/internal/nn"
 	"dlsys/internal/quant"
@@ -74,11 +76,12 @@ func BenchmarkA7(b *testing.B) { benchExperiment(b, "A7") }
 func BenchmarkA8(b *testing.B) { benchExperiment(b, "A8") }
 func BenchmarkA9(b *testing.B) { benchExperiment(b, "A9") }
 
-// Extensions X1..X4 — cited systems beyond the explicit claims.
+// Extensions X1..X5 — cited systems beyond the explicit claims.
 func BenchmarkX1(b *testing.B) { benchExperiment(b, "X1") }
 func BenchmarkX2(b *testing.B) { benchExperiment(b, "X2") }
 func BenchmarkX3(b *testing.B) { benchExperiment(b, "X3") }
 func BenchmarkX4(b *testing.B) { benchExperiment(b, "X4") }
+func BenchmarkX5(b *testing.B) { benchExperiment(b, "X5") }
 
 // ---- micro-benchmarks for the hot paths underlying the experiments ----
 
@@ -176,8 +179,8 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 // Sanity checks that the facade works; keeps the root package tested, not
 // only benchmarked.
 func TestFacade(t *testing.T) {
-	if got := len(Experiments()); got != 45 {
-		t.Fatalf("Experiments() returned %d, want 45 (32 claims + 9 ablations + 4 extensions)", got)
+	if got := len(Experiments()); got != 46 {
+		t.Fatalf("Experiments() returned %d, want 46 (32 claims + 9 ablations + 5 extensions)", got)
 	}
 	if got := len(Techniques()); got < 30 {
 		t.Fatalf("Techniques() returned %d, want >=30", got)
@@ -203,6 +206,31 @@ func BenchmarkMatMul512Parallel(b *testing.B) {
 		tensor.MatMul(x, y)
 	}
 	b.SetBytes(512 * 512 * 8 * 2)
+}
+
+// BenchmarkFaultyTraining measures the overhead the fault machinery adds
+// to distributed training as the injected fault rate grows: rate 0 is the
+// fast path (no retries, no snapshots restored), 0.05 and 0.2 pay for
+// retransmissions, crash recovery, and straggler handling.
+func BenchmarkFaultyTraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	ds := data.GaussianMixture(rng, 320, 6, 3, 3.2)
+	train, _ := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, 3)
+	arch := nn.MLPConfig{In: 6, Hidden: []int{24}, Out: 3}
+	for _, rate := range []float64{0, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := distributed.Train(13, train.X, y, distributed.Config{
+					Workers: 4, Arch: arch, Epochs: 5, BatchSize: 16, LR: 0.1,
+					AveragePeriod: 1, Fault: fault.Rate(14, rate), SnapshotPeriod: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkVectorizedQuery(b *testing.B) {

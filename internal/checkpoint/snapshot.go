@@ -1,0 +1,127 @@
+package checkpoint
+
+// This file adds model-state snapshots: the crash-recovery complement to
+// the package's activation recomputation. A Snapshot is a CRC-protected
+// serialization of a network's parameter vector; distributed training
+// takes one periodically and a crashed worker rejoins by restoring the
+// latest one, with corruption (a bit flip in flight or at rest) detected
+// by the checksum rather than silently poisoning the model.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"dlsys/internal/nn"
+)
+
+// ErrCorrupt is returned when a snapshot's payload fails its CRC.
+var ErrCorrupt = errors.New("checkpoint: snapshot payload fails CRC")
+
+// Snapshot is one CRC-protected capture of a model's parameters.
+type Snapshot struct {
+	Step    int    // training step/round at which it was taken
+	Payload []byte // little-endian float64 parameter vector
+	CRC     uint32 // crc32 (IEEE) over Payload
+}
+
+// TakeSnapshot serializes the network's current parameter vector.
+func TakeSnapshot(step int, net *nn.Network) Snapshot {
+	return SnapshotVector(step, net.ParamVector())
+}
+
+// SnapshotVector serializes an already-flattened parameter vector.
+func SnapshotVector(step int, params []float64) Snapshot {
+	payload := make([]byte, 8*len(params))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+	}
+	return Snapshot{Step: step, Payload: payload, CRC: crc32.ChecksumIEEE(payload)}
+}
+
+// Bytes returns the snapshot's wire/storage size including the header.
+func (s Snapshot) Bytes() int64 { return int64(len(s.Payload)) + 12 }
+
+// Verify reports whether the payload still matches its checksum.
+func (s Snapshot) Verify() bool { return crc32.ChecksumIEEE(s.Payload) == s.CRC }
+
+// Params decodes the parameter vector, first verifying the CRC.
+func (s Snapshot) Params() ([]float64, error) {
+	if !s.Verify() {
+		return nil, ErrCorrupt
+	}
+	if len(s.Payload)%8 != 0 {
+		return nil, fmt.Errorf("checkpoint: snapshot payload %d bytes is not a float64 vector", len(s.Payload))
+	}
+	params := make([]float64, len(s.Payload)/8)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.Payload[8*i:]))
+	}
+	return params, nil
+}
+
+// Restore verifies the CRC and writes the snapshot's parameters back into
+// the network. The network must have the same parameter count.
+func (s Snapshot) Restore(net *nn.Network) error {
+	params, err := s.Params()
+	if err != nil {
+		return err
+	}
+	if got, want := len(params), net.NumParams(); got != want {
+		return fmt.Errorf("checkpoint: snapshot holds %d params, network has %d", got, want)
+	}
+	net.SetParamVector(params)
+	return nil
+}
+
+// Store keeps a bounded history of snapshots and restores from the newest
+// one that still verifies, so a corrupted latest snapshot degrades to the
+// previous good one instead of failing recovery outright.
+type Store struct {
+	keep  int
+	snaps []Snapshot // oldest first
+}
+
+// NewStore builds a store retaining the last keep snapshots (min 1).
+func NewStore(keep int) *Store {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Store{keep: keep}
+}
+
+// Put records a snapshot, evicting the oldest beyond the retention bound.
+func (st *Store) Put(s Snapshot) {
+	st.snaps = append(st.snaps, s)
+	if len(st.snaps) > st.keep {
+		st.snaps = st.snaps[len(st.snaps)-st.keep:]
+	}
+}
+
+// Len returns the number of retained snapshots.
+func (st *Store) Len() int { return len(st.snaps) }
+
+// Latest returns the newest retained snapshot (unverified).
+func (st *Store) Latest() (Snapshot, bool) {
+	if len(st.snaps) == 0 {
+		return Snapshot{}, false
+	}
+	return st.snaps[len(st.snaps)-1], true
+}
+
+// Restore writes the newest verifiable snapshot into the network and
+// returns it, along with how many newer snapshots failed their CRC and
+// were skipped. It returns an error only when no retained snapshot
+// verifies.
+func (st *Store) Restore(net *nn.Network) (Snapshot, int, error) {
+	skipped := 0
+	for i := len(st.snaps) - 1; i >= 0; i-- {
+		if err := st.snaps[i].Restore(net); err == nil {
+			return st.snaps[i], skipped, nil
+		}
+		skipped++
+	}
+	return Snapshot{}, skipped, fmt.Errorf("checkpoint: no verifiable snapshot among %d retained: %w", len(st.snaps), ErrCorrupt)
+}

@@ -1,0 +1,140 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/nn"
+)
+
+var snapArch = nn.MLPConfig{In: 6, Hidden: []int{16, 8}, Out: 3}
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(1)), snapArch)
+	want := net.ParamVector()
+	snap := TakeSnapshot(42, net)
+	if snap.Step != 42 {
+		t.Fatalf("step %d != 42", snap.Step)
+	}
+	if !snap.Verify() {
+		t.Fatal("fresh snapshot fails its own CRC")
+	}
+
+	other := nn.NewMLP(rand.New(rand.NewSource(2)), snapArch)
+	if err := snap.Restore(other); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	got := other.ParamVector()
+	if len(got) != len(want) {
+		t.Fatalf("param count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored param %d is %g, want bit-identical %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCorruptedSnapshotRejected(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(3)), snapArch)
+	snap := TakeSnapshot(1, net)
+	snap.Payload[17] ^= 0x40 // single bit flip anywhere must be caught
+	if snap.Verify() {
+		t.Fatal("CRC missed a bit flip")
+	}
+	before := net.ParamVector()
+	err := snap.Restore(net)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("restore of corrupt snapshot returned %v, want ErrCorrupt", err)
+	}
+	after := net.ParamVector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed restore must not touch the network")
+		}
+	}
+}
+
+func TestSnapshotSizeMismatchRejected(t *testing.T) {
+	small := nn.NewMLP(rand.New(rand.NewSource(4)), nn.MLPConfig{In: 2, Hidden: []int{3}, Out: 2})
+	big := nn.NewMLP(rand.New(rand.NewSource(5)), snapArch)
+	snap := TakeSnapshot(0, small)
+	if err := snap.Restore(big); err == nil {
+		t.Fatal("mismatched parameter count accepted")
+	}
+}
+
+func TestSnapshotVector(t *testing.T) {
+	params := []float64{1.5, -2.25, 0, 3e-9}
+	snap := SnapshotVector(7, params)
+	got, err := snap.Params()
+	if err != nil {
+		t.Fatalf("params: %v", err)
+	}
+	for i := range params {
+		if got[i] != params[i] {
+			t.Fatalf("decoded %g != %g", got[i], params[i])
+		}
+	}
+	if snap.Bytes() != int64(8*len(params))+12 {
+		t.Fatalf("bytes %d", snap.Bytes())
+	}
+}
+
+func TestStoreFallsBackToPreviousGoodSnapshot(t *testing.T) {
+	netA := nn.NewMLP(rand.New(rand.NewSource(6)), snapArch)
+	netB := nn.NewMLP(rand.New(rand.NewSource(7)), snapArch)
+	good := TakeSnapshot(1, netA)
+	bad := TakeSnapshot(2, netB)
+	bad.Payload[3] ^= 1 // corrupt the newer snapshot
+
+	st := NewStore(2)
+	st.Put(good)
+	st.Put(bad)
+
+	target := nn.NewMLP(rand.New(rand.NewSource(8)), snapArch)
+	restored, skipped, err := st.Restore(target)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d snapshots, want 1", skipped)
+	}
+	if restored.Step != 1 {
+		t.Fatalf("restored step %d, want the older good snapshot", restored.Step)
+	}
+	want := netA.ParamVector()
+	got := target.ParamVector()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("fallback restore not bit-identical to the good snapshot")
+		}
+	}
+}
+
+func TestStoreAllCorruptErrors(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(9)), snapArch)
+	snap := TakeSnapshot(1, net)
+	snap.Payload[0] ^= 1
+	st := NewStore(3)
+	st.Put(snap)
+	if _, _, err := st.Restore(net); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestStoreRetentionBound(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(10)), snapArch)
+	st := NewStore(2)
+	for i := 0; i < 5; i++ {
+		st.Put(TakeSnapshot(i, net))
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store retains %d, want 2", st.Len())
+	}
+	latest, ok := st.Latest()
+	if !ok || latest.Step != 4 {
+		t.Fatalf("latest step %d, want 4", latest.Step)
+	}
+}

@@ -29,6 +29,7 @@ const (
 	Energy        Metric = "energy"
 	Fairness      Metric = "fairness"
 	Transparency  Metric = "transparency"
+	Reliability   Metric = "reliability"
 )
 
 // Technique classifies one implemented method by the tradeoff it strikes —
@@ -61,6 +62,11 @@ func Techniques() []Technique {
 		{"gradient sparsification", "distributed", []Metric{Communication}, []Metric{Accuracy}, "2.1"},
 		{"gradient quantization", "distributed", []Metric{Communication}, []Metric{Accuracy}, "2.1"},
 		{"priority propagation", "distributed", []Metric{TrainingTime}, nil, "2.1"},
+		{"retry with exponential backoff", "distributed", []Metric{Reliability}, []Metric{Communication, TrainingTime}, "2.1"},
+		{"backup workers (drop-slowest-k)", "distributed", []Metric{TrainingTime, Reliability}, []Metric{Accuracy}, "2.1"},
+		{"deterministic fault injection", "fault", []Metric{Reliability, Transparency}, nil, "2.1"},
+		{"model-state checkpointing", "checkpoint", []Metric{Reliability}, []Metric{Memory, TrainingTime}, "2.3"},
+		{"graceful pipeline degradation", "pipeline", []Metric{Reliability}, []Metric{Accuracy, Memory}, "3"},
 		{"flexflow-style search", "planner", []Metric{TrainingTime}, []Metric{OptimizeTime}, "2.2"},
 		{"morphnet resizing", "planner", []Metric{InferenceTime, Memory}, []Metric{OptimizeTime}, "2.2"},
 		{"activation checkpointing", "checkpoint", []Metric{Memory}, []Metric{TrainingTime}, "2.3"},

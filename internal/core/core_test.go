@@ -33,8 +33,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	ext := Extensions()
-	if len(ext) != 4 {
-		t.Fatalf("registered %d extensions, want 4", len(ext))
+	if len(ext) != 5 {
+		t.Fatalf("registered %d extensions, want 5", len(ext))
 	}
 	// Order: claims, then ablations, then extensions.
 	if All()[0].ID != "E1" || All()[32].ID != "A1" || All()[41].ID != "X1" {
@@ -67,7 +67,8 @@ func TestTechniquesCoverAllSections(t *testing.T) {
 		}
 	}
 	for _, p := range []string{"quant", "prune", "distill", "ensemble", "distributed",
-		"planner", "checkpoint", "learned", "explore", "fairness", "interpret", "modelstore", "green"} {
+		"planner", "checkpoint", "learned", "explore", "fairness", "interpret", "modelstore",
+		"green", "fault", "pipeline"} {
 		if !packages[p] {
 			t.Fatalf("package %s not represented in the technique framework", p)
 		}

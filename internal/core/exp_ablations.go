@@ -114,10 +114,13 @@ func runA2(scale Scale) *Table {
 		Columns: []string{"topk", "with_ef_acc", "without_ef_acc"}}
 	for _, topK := range []float64{0.10, 0.02, 0.005} {
 		run := func(noEF bool) float64 {
-			net, _ := distributed.Train(104, train.X, y, distributed.Config{
+			net, _, err := distributed.Train(104, train.X, y, distributed.Config{
 				Workers: 4, Arch: cfg, Epochs: epochs, BatchSize: 16, LR: 0.1,
 				AveragePeriod: 1, TopK: topK, NoErrorFeedback: noEF,
 			})
+			if err != nil {
+				return math.NaN()
+			}
 			return net.Accuracy(test.X, test.Labels)
 		}
 		t.AddRow(fmt.Sprintf("%.1f%%", topK*100), run(false), run(true))

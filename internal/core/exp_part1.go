@@ -258,9 +258,13 @@ func runE6(scale Scale) *Table {
 	t := &Table{ID: "E6", Title: "Local SGD", Claim: "bytes ~ 1/H, accuracy degrades slowly",
 		Columns: []string{"H", "mbytes_sent", "rounds", "accuracy"}}
 	for _, h := range []int{1, 4, 16, 64} {
-		net, stats := distributed.Train(24, train.X, y, distributed.Config{
+		net, stats, err := distributed.Train(24, train.X, y, distributed.Config{
 			Workers: 4, Arch: cfg, Epochs: epochs, BatchSize: 16, LR: 0.1, AveragePeriod: h,
 		})
+		if err != nil {
+			t.AddRow(h, "err", "err", err.Error())
+			continue
+		}
 		t.AddRow(h, float64(stats.BytesSent)/1e6, stats.AveragingRound, net.Accuracy(test.X, test.Labels))
 	}
 	t.Shape = "bytes fall ~1/H; accuracy loss grows gently with H"
@@ -273,10 +277,14 @@ func runE7(scale Scale) *Table {
 	t := &Table{ID: "E7", Title: "Gradient compression", Claim: "large byte savings, small accuracy loss",
 		Columns: []string{"scheme", "mbytes_sent", "accuracy"}}
 	run := func(name string, topK float64, bits int) {
-		net, stats := distributed.Train(26, train.X, y, distributed.Config{
+		net, stats, err := distributed.Train(26, train.X, y, distributed.Config{
 			Workers: 4, Arch: cfg, Epochs: epochs, BatchSize: 16, LR: 0.1,
 			AveragePeriod: 1, TopK: topK, QuantBits: bits,
 		})
+		if err != nil {
+			t.AddRow(name, "err", err.Error())
+			return
+		}
 		t.AddRow(name, float64(stats.BytesSent)/1e6, net.Accuracy(test.X, test.Labels))
 	}
 	run("dense fp32", 1, 0)

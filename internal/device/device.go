@@ -74,6 +74,13 @@ func (p Profile) MemTime(bytes int64) float64 {
 	return float64(bytes) / p.MemBandwidth
 }
 
+// SendTime returns the seconds for one message of the given size over the
+// profile's own link: per-message latency plus serialization. It is the
+// per-attempt cost the distributed trainer's retrying transport pays.
+func (p Profile) SendTime(bytes int64) float64 {
+	return p.LinkLatencyS + float64(bytes)/p.LinkBandwidth
+}
+
 // TransferTime returns the seconds to send bytes over the device's
 // interconnect, including per-message latency. Bandwidth is the minimum of
 // the two endpoints' link bandwidths.

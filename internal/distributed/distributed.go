@@ -7,14 +7,28 @@
 // network is replaced by byte accounting plus the analytic link model in
 // internal/device, which preserves the communication/accuracy tradeoffs the
 // real systems exhibit.
+//
+// The simulator is fault-tolerant: an internal/fault injector can crash
+// workers (they rejoin from CRC-checked snapshots, internal/checkpoint),
+// slow them down (mitigated by drop-slowest-k a.k.a. backup-worker
+// aggregation), and drop or corrupt messages (survived by retransmission
+// with exponential backoff). Every failure scenario derives from the fault
+// seed, so runs are bit-reproducible, faults and all. Workers compute in
+// parallel goroutines with per-worker RNG streams, so execution order
+// cannot perturb results.
 package distributed
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"dlsys/internal/checkpoint"
 	"dlsys/internal/device"
+	"dlsys/internal/fault"
 	"dlsys/internal/nn"
 	"dlsys/internal/tensor"
 )
@@ -42,6 +56,30 @@ type Config struct {
 	// dropped by top-k are discarded instead of accumulated for the next
 	// round. Exists for the ablation showing why error feedback matters.
 	NoErrorFeedback bool
+
+	// Fault configures the deterministic fault injector. The zero value is
+	// a perfect world and reproduces the historical fault-free behaviour.
+	Fault fault.Config
+	// Device drives the simulated clock (compute and link times). Zero
+	// value selects device.GPUSmall.
+	Device device.Profile
+	// MaxRetries bounds the send attempts per gradient/model upload within
+	// one round (default 4); a sender that exhausts them times out and is
+	// excluded from that round's average.
+	MaxRetries int
+	// RetryBackoffS is the base exponential-backoff delay, in simulated
+	// seconds, inserted before each retransmission (default 1ms).
+	RetryBackoffS float64
+	// DropSlowestK enables straggler mitigation: each averaging round the
+	// k slowest workers are excluded from aggregation (the backup-worker
+	// pattern — the round completes at the pace of the fastest survivors).
+	// Excluded gradients fold into the error-feedback residual when it is
+	// enabled, so their work is deferred rather than lost.
+	DropSlowestK int
+	// SnapshotPeriod is how many averaging rounds pass between global
+	// model snapshots (default 5 when faults are enabled). Crashed workers
+	// rejoin by restoring the newest snapshot whose CRC verifies.
+	SnapshotPeriod int
 }
 
 // Stats reports what a run cost and how it progressed.
@@ -50,15 +88,43 @@ type Stats struct {
 	AveragingRound int       // parameter/gradient exchanges performed
 	Steps          int       // per-worker optimizer steps
 	EpochLoss      []float64 // mean worker-0 loss per epoch
+
+	// Reliability counters (all zero in a fault-free run).
+	Retransmissions int     // message attempts beyond the first
+	DroppedMessages int     // attempts lost in flight
+	Corruptions     int     // attempts rejected by the receiver's CRC
+	Timeouts        int     // uploads abandoned after MaxRetries attempts
+	Crashes         int     // worker crash events
+	Rejoins         int     // workers that came back after a crash
+	Restores        int     // snapshot restores performed on rejoin
+	Snapshots       int     // global snapshots taken
+	SnapshotBytes   int64   // bytes written as snapshots
+	StragglerRounds int     // rounds where >=1 participant straggled
+	ExcludedSlow    int     // worker-rounds excluded by DropSlowestK
+	SimSeconds      float64 // simulated wall-clock on Config.Device
 }
 
 const wireBytesPerFloat = 4 // gradients/parameters travel as float32
 
 // Train runs the configured algorithm over x/y and returns the final
-// (consensus) model plus stats. Training is deterministic for a given seed.
-func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats) {
+// (consensus) model plus stats. Training is deterministic for a given seed
+// and fault seed, regardless of worker execution order.
+func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, error) {
+	var stats Stats
 	if cfg.Workers < 1 {
-		panic("distributed: need at least one worker")
+		return nil, stats, errors.New("distributed: need at least one worker")
+	}
+	if cfg.Epochs < 0 {
+		return nil, stats, fmt.Errorf("distributed: negative epoch count %d", cfg.Epochs)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, stats, fmt.Errorf("distributed: batch size %d < 1", cfg.BatchSize)
+	}
+	if cfg.DropSlowestK != 0 && (cfg.DropSlowestK < 0 || cfg.DropSlowestK >= cfg.Workers) {
+		return nil, stats, fmt.Errorf("distributed: DropSlowestK %d out of [0, workers)", cfg.DropSlowestK)
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, stats, err
 	}
 	if cfg.AveragePeriod < 1 {
 		cfg.AveragePeriod = 1
@@ -66,99 +132,127 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats) {
 	if cfg.TopK <= 0 || cfg.TopK > 1 {
 		cfg.TopK = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if cfg.MaxRetries < 1 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoffS <= 0 {
+		cfg.RetryBackoffS = 1e-3
+	}
+	if cfg.SnapshotPeriod < 1 {
+		cfg.SnapshotPeriod = 5
+	}
+	var inj *fault.Injector
+	if cfg.Fault.Enabled() {
+		inj = fault.NewInjector(cfg.Fault)
+	}
+	prof := cfg.Device
+	if prof.Name == "" {
+		prof = device.GPUSmall
+	}
+	net := &transport{inj: inj, prof: prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS}
 
-	// All workers start from the same initialisation.
+	// All workers start from the same initialisation but own independent
+	// RNG streams derived from (seed, workerID), so fault-induced
+	// reordering of worker execution cannot change any worker's batches.
 	global := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
 	workers := make([]*worker, cfg.Workers)
 	shards := shardIndices(x.Dim(0), cfg.Workers)
 	for w := range workers {
-		net := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
-		net.SetParamVector(global.ParamVector())
+		wnet := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
+		wnet.SetParamVector(global.ParamVector())
+		wrng := rand.New(rand.NewSource(fault.WorkerSeed(seed, w)))
 		workers[w] = &worker{
-			net:      net,
-			trainer:  nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(cfg.LR), rng),
+			id:       w,
+			net:      wnet,
+			trainer:  nn.NewTrainer(wnet, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(cfg.LR), wrng),
+			rng:      wrng,
 			shard:    shards[w],
-			residual: make([]float64, net.NumParams()),
+			residual: make([]float64, wnet.NumParams()),
 		}
 	}
 
-	var stats Stats
+	store := checkpoint.NewStore(2)
+	if inj != nil {
+		takeSnapshot(store, inj, 0, global, &stats)
+	}
 	modelSize := global.NumParams()
+	flopsPerExample := 3 * global.FLOPs(1) // forward + ~2x backward
 	stepsPerEpoch := (len(shards[0]) + cfg.BatchSize - 1) / cfg.BatchSize
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for w := range workers {
-			rng.Shuffle(len(workers[w].shard), func(i, j int) {
-				s := workers[w].shard
-				s[i], s[j] = s[j], s[i]
+		for _, wk := range workers {
+			wk.rng.Shuffle(len(wk.shard), func(i, j int) {
+				wk.shard[i], wk.shard[j] = wk.shard[j], wk.shard[i]
 			})
 		}
 		var epochLoss float64
+		lossSteps := 0
 		for step := 0; step < stepsPerEpoch; step++ {
+			round := epoch*stepsPerEpoch + step
+			active := liveWorkers(workers, inj, store, round, &stats)
+			if len(active) == 0 {
+				// Whole cluster down: the round idles away a restart delay.
+				stats.SimSeconds += net.backoffS
+				stats.Steps++
+				continue
+			}
 			if cfg.AveragePeriod == 1 {
-				// Gradient-exchange regime (sync SGD, optionally compressed).
-				avgGrad := make([]float64, modelSize)
-				for _, wk := range workers {
-					bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
-					loss := wk.trainer.ComputeGrad(bx, by)
-					if wk == workers[0] {
-						epochLoss += loss
-					}
-					g := wk.net.GradVector()
-					residual := wk.residual
-					if cfg.NoErrorFeedback {
-						residual = nil
-					}
-					sent := compressGradient(g, residual, cfg.TopK, cfg.QuantBits)
-					stats.BytesSent += sent
-					for i := range avgGrad {
-						avgGrad[i] += g[i]
-					}
+				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, &stats)
+				if ok && active[0].id == 0 {
+					epochLoss += loss
+					lossSteps++
 				}
-				for i := range avgGrad {
-					avgGrad[i] /= float64(cfg.Workers)
+				if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+					takeSnapshot(store, inj, round+1, active[0].net, &stats)
 				}
-				// Broadcast of the averaged (already compressed) update.
-				stats.BytesSent += broadcastBytes(avgGrad, cfg)
-				for _, wk := range workers {
-					wk.net.SetGradVector(avgGrad)
-					wk.trainer.Opt.Step(wk.net.Params())
-					wk.net.PostStep()
-				}
-				stats.AveragingRound++
 			} else {
-				// Local SGD regime.
-				for _, wk := range workers {
-					bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
-					loss := wk.trainer.Step(bx, by)
-					if wk == workers[0] {
-						epochLoss += loss
-					}
+				localRound(active, x, y, cfg, net, step, round, flopsPerExample, &stats)
+				if active[0].id == 0 {
+					epochLoss += activeLoss(active[0])
+					lossSteps++
 				}
-				globalStep := epoch*stepsPerEpoch + step + 1
+				globalStep := round + 1
 				if globalStep%cfg.AveragePeriod == 0 {
-					averageParams(workers)
-					// Up and down: every worker ships its full model and
-					// receives the average.
-					stats.BytesSent += int64(cfg.Workers) * 2 * int64(modelSize) * wireBytesPerFloat
-					stats.AveragingRound++
+					averageRound(active, cfg, net, round, modelSize, &stats)
+					if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+						takeSnapshot(store, inj, round+1, active[0].net, &stats)
+					}
 				}
 			}
 			stats.Steps++
 		}
-		stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(stepsPerEpoch))
+		if lossSteps > 0 {
+			stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(lossSteps))
+		} else {
+			stats.EpochLoss = append(stats.EpochLoss, math.NaN())
+		}
 	}
-	// Final consensus.
-	averageParams(workers)
-	global.SetParamVector(workers[0].net.ParamVector())
-	return global, stats
+	// Final consensus over the workers that are up at the end; workers
+	// still down (crashed near the finish) hold stale parameters and are
+	// left out, exactly as a parameter server would ignore them.
+	totalRounds := cfg.Epochs * stepsPerEpoch
+	var final []*worker
+	for _, wk := range workers {
+		if wk.downTo <= totalRounds {
+			final = append(final, wk)
+		}
+	}
+	if len(final) == 0 {
+		final = workers
+	}
+	averageParams(final)
+	global.SetParamVector(final[0].net.ParamVector())
+	return global, stats, nil
 }
 
 type worker struct {
+	id       int
 	net      *nn.Network
 	trainer  *nn.Trainer
+	rng      *rand.Rand // per-worker stream: batch shuffles only
 	shard    []int
 	residual []float64 // error-feedback accumulator for dropped coordinates
+	downTo   int       // round before which the worker is down (0 = up)
+	lastLoss float64
 }
 
 func (w *worker) nextBatch(x, y *tensor.Tensor, step, bs int) (*tensor.Tensor, *tensor.Tensor) {
@@ -168,6 +262,333 @@ func (w *worker) nextBatch(x, y *tensor.Tensor, step, bs int) (*tensor.Tensor, *
 		end = len(w.shard)
 	}
 	return nn.GatherBatch(x, y, w.shard[start:end])
+}
+
+func activeLoss(w *worker) float64 { return w.lastLoss }
+
+// liveWorkers applies crash and rejoin transitions for the round and
+// returns the up workers in id order.
+func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store, round int, stats *Stats) []*worker {
+	var active []*worker
+	for _, wk := range workers {
+		if wk.downTo > round {
+			continue // still down
+		}
+		if wk.downTo > 0 {
+			// Rejoin: restore the newest verifiable snapshot. A corrupted
+			// newer snapshot is detected by its CRC and skipped.
+			if _, skipped, err := store.Restore(wk.net); err == nil {
+				stats.Restores++
+				stats.Corruptions += skipped
+			}
+			stats.Rejoins++
+			wk.downTo = 0
+			for i := range wk.residual {
+				wk.residual[i] = 0 // crash wiped worker memory
+			}
+		}
+		if inj.Crashes(wk.id, round) {
+			stats.Crashes++
+			wk.downTo = round + inj.RestartDelay()
+			continue
+		}
+		active = append(active, wk)
+	}
+	return active
+}
+
+// gradResult is one worker's contribution to a synchronous round.
+type gradResult struct {
+	wk      *worker
+	loss    float64
+	grad    []float64
+	seconds float64 // simulated compute time incl. straggle factor
+}
+
+// computeGrads runs every active worker's forward/backward in parallel
+// goroutines. Determinism holds because workers share no mutable state and
+// results are consumed in worker-id order.
+func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device.Profile, inj *fault.Injector, step, round int, flopsPerExample int64, localStep bool) []gradResult {
+	results := make([]gradResult, len(active))
+	var wg sync.WaitGroup
+	for i, wk := range active {
+		wg.Add(1)
+		go func(i int, wk *worker) {
+			defer wg.Done()
+			bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
+			var loss float64
+			if localStep {
+				loss = wk.trainer.Step(bx, by)
+			} else {
+				loss = wk.trainer.ComputeGrad(bx, by)
+			}
+			wk.lastLoss = loss
+			r := gradResult{wk: wk, loss: loss}
+			if !localStep {
+				r.grad = wk.net.GradVector()
+			}
+			r.seconds = prof.ComputeTime(flopsPerExample*int64(bx.Dim(0)), 0.5) * inj.StraggleFactor(wk.id, round)
+			results[i] = r
+		}(i, wk)
+	}
+	wg.Wait()
+	return results
+}
+
+// syncRound executes one synchronous gradient-exchange round with fault
+// handling. Returns worker-ordered first participant's loss and whether the
+// round produced an update.
+func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, stats *Stats) (float64, bool) {
+	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
+	straggled := false
+	for _, r := range results {
+		if r.seconds > net.prof.ComputeTime(flopsPerExample*int64(cfg.BatchSize), 0.5)*1.5 {
+			straggled = true
+		}
+	}
+	if straggled {
+		stats.StragglerRounds++
+	}
+
+	// Straggler mitigation: the aggregation round closes after the fastest
+	// len(active)-k workers report — the k slowest are cut out.
+	included := results
+	if k := cfg.DropSlowestK; k > 0 && len(results) > k {
+		order := make([]int, len(results))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := results[order[a]], results[order[b]]
+			if ra.seconds != rb.seconds {
+				return ra.seconds < rb.seconds
+			}
+			return ra.wk.id < rb.wk.id
+		})
+		included = make([]gradResult, 0, len(results)-k)
+		for _, oi := range order[:len(results)-k] {
+			included = append(included, results[oi])
+		}
+		sort.Slice(included, func(a, b int) bool { return included[a].wk.id < included[b].wk.id })
+		for _, oi := range order[len(results)-k:] {
+			r := results[oi]
+			stats.ExcludedSlow++
+			if !cfg.NoErrorFeedback {
+				// Defer the dropped worker's gradient instead of losing it.
+				for i, g := range r.grad {
+					r.wk.residual[i] += g
+				}
+			}
+		}
+	}
+
+	// Each included worker compresses and uploads its gradient; lost or
+	// corrupted transmissions are retried with exponential backoff until
+	// the per-round retry budget runs out.
+	avgGrad := make([]float64, modelSize)
+	var computeS, uplinkS float64
+	received := 0
+	for _, r := range included {
+		if r.seconds > computeS {
+			computeS = r.seconds
+		}
+		residual := r.wk.residual
+		if cfg.NoErrorFeedback {
+			residual = nil
+		}
+		sent := compressGradient(r.grad, residual, cfg.TopK, cfg.QuantBits)
+		ok, elapsed := net.send(r.wk.id, 2*round, sent, stats)
+		if elapsed > uplinkS {
+			uplinkS = elapsed
+		}
+		if !ok {
+			stats.Timeouts++
+			if residual != nil {
+				// The compressed gradient never arrived; park it locally.
+				for i, g := range r.grad {
+					residual[i] += g
+				}
+			}
+			continue
+		}
+		for i := range avgGrad {
+			avgGrad[i] += r.grad[i]
+		}
+		received++
+	}
+	stats.SimSeconds += computeS + uplinkS
+	if received == 0 {
+		return 0, false // every upload timed out: no update this round
+	}
+	for i := range avgGrad {
+		avgGrad[i] /= float64(received)
+	}
+
+	// Broadcast of the averaged (already compressed) update. The server
+	// persists until every live worker has the round's update.
+	stats.BytesSent += broadcastBytes(avgGrad, cfg, len(active))
+	var downlinkS float64
+	for _, wk := range active {
+		_, elapsed := net.broadcast(wk.id, 2*round+1, perWorkerBroadcastBytes(avgGrad, cfg), stats)
+		if elapsed > downlinkS {
+			downlinkS = elapsed
+		}
+	}
+	stats.SimSeconds += downlinkS
+	for _, wk := range active {
+		wk.net.SetGradVector(avgGrad)
+		wk.trainer.Opt.Step(wk.net.Params())
+		wk.net.PostStep()
+	}
+	stats.AveragingRound++
+	return results[0].loss, true
+}
+
+// localRound executes one Local SGD step on every active worker in
+// parallel and accounts its simulated compute time.
+func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round int, flopsPerExample int64, stats *Stats) {
+	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, true)
+	var computeS float64
+	straggled := false
+	for _, r := range results {
+		if r.seconds > computeS {
+			computeS = r.seconds
+		}
+		if r.seconds > net.prof.ComputeTime(flopsPerExample*int64(cfg.BatchSize), 0.5)*1.5 {
+			straggled = true
+		}
+	}
+	if straggled {
+		stats.StragglerRounds++
+	}
+	stats.SimSeconds += computeS
+}
+
+// averageRound is Local SGD's model-averaging exchange with fault
+// handling: every live worker ships its parameters up (with retries) and
+// receives the average back. Workers whose upload times out still receive
+// the average, which re-synchronises any post-crash drift.
+func averageRound(active []*worker, cfg Config, net *transport, round, modelSize int, stats *Stats) {
+	modelBytes := int64(modelSize) * wireBytesPerFloat
+	avg := make([]float64, modelSize)
+	received := 0
+	var uplinkS float64
+	var scratch []float64
+	for _, wk := range active {
+		ok, elapsed := net.send(wk.id, 2*round, modelBytes, stats)
+		if elapsed > uplinkS {
+			uplinkS = elapsed
+		}
+		if !ok {
+			stats.Timeouts++
+			continue
+		}
+		scratch = wk.net.ParamVectorInto(scratch)
+		for i := range avg {
+			avg[i] += scratch[i]
+		}
+		received++
+	}
+	stats.SimSeconds += uplinkS
+	if received == 0 {
+		return
+	}
+	for i := range avg {
+		avg[i] /= float64(received)
+	}
+	var downlinkS float64
+	for _, wk := range active {
+		stats.BytesSent += modelBytes
+		_, elapsed := net.broadcast(wk.id, 2*round+1, modelBytes, stats)
+		if elapsed > downlinkS {
+			downlinkS = elapsed
+		}
+		wk.net.SetParamVector(avg)
+	}
+	stats.SimSeconds += downlinkS
+	stats.AveragingRound++
+}
+
+// takeSnapshot captures the consensus model, possibly corrupting the
+// stored payload (which a later Restore detects via CRC and skips).
+func takeSnapshot(store *checkpoint.Store, inj *fault.Injector, step int, net *nn.Network, stats *Stats) {
+	snap := checkpoint.TakeSnapshot(step, net)
+	if inj.Corrupts(-1, step, 0) {
+		inj.CorruptPayload(snap.Payload, -1, step, 0)
+	}
+	store.Put(snap)
+	stats.Snapshots++
+	stats.SnapshotBytes += snap.Bytes()
+}
+
+// transport simulates the cluster links: per-attempt loss/corruption from
+// the fault injector, retry with exponential backoff, byte accounting per
+// attempt (retransmissions cost real bandwidth), and simulated seconds
+// from the device profile.
+type transport struct {
+	inj        *fault.Injector
+	prof       device.Profile
+	maxRetries int
+	backoffS   float64
+}
+
+func (t *transport) attemptTime(bytes int64) float64 {
+	return t.prof.SendTime(bytes)
+}
+
+// send attempts a worker upload up to maxRetries times. Returns whether
+// the message was delivered plus the simulated seconds spent.
+func (t *transport) send(worker, msgKey int, bytes int64, stats *Stats) (bool, float64) {
+	var elapsed float64
+	for attempt := 0; attempt < t.maxRetries; attempt++ {
+		if attempt > 0 {
+			stats.Retransmissions++
+			elapsed += t.backoffS * float64(int64(1)<<(attempt-1))
+		}
+		stats.BytesSent += bytes
+		elapsed += t.attemptTime(bytes)
+		if t.inj.Corrupts(worker, msgKey, attempt) {
+			stats.Corruptions++
+			continue // receiver's CRC rejects the payload → retry
+		}
+		if t.inj.Drops(worker, msgKey, attempt) {
+			stats.DroppedMessages++
+			continue
+		}
+		return true, elapsed
+	}
+	return false, elapsed
+}
+
+// broadcast is the server→worker path. The server retries past the
+// per-round budget (it persists across rounds), so delivery is guaranteed;
+// the attempt cap is only a safeguard against pathological configs with
+// loss probability ~1.
+func (t *transport) broadcast(worker, msgKey int, bytes int64, stats *Stats) (bool, float64) {
+	var elapsed float64
+	const hardCap = 64
+	for attempt := 0; attempt < hardCap; attempt++ {
+		if attempt > 0 {
+			stats.Retransmissions++
+			stats.BytesSent += bytes // each re-send crosses the link again
+			backoff := attempt
+			if backoff > 10 {
+				backoff = 10
+			}
+			elapsed += t.backoffS * float64(int64(1)<<(backoff-1))
+		}
+		elapsed += t.attemptTime(bytes)
+		if t.inj.Corrupts(worker, msgKey, attempt) {
+			stats.Corruptions++
+			continue
+		}
+		if t.inj.Drops(worker, msgKey, attempt) {
+			stats.DroppedMessages++
+			continue
+		}
+		return true, elapsed
+	}
+	return true, elapsed
 }
 
 func shardIndices(n, workers int) [][]int {
@@ -181,10 +602,11 @@ func shardIndices(n, workers int) [][]int {
 
 func averageParams(workers []*worker) {
 	avg := workers[0].net.ParamVector()
+	var scratch []float64
 	for _, wk := range workers[1:] {
-		v := wk.net.ParamVector()
+		scratch = wk.net.ParamVectorInto(scratch)
 		for i := range avg {
-			avg[i] += v[i]
+			avg[i] += scratch[i]
 		}
 	}
 	for i := range avg {
@@ -270,9 +692,9 @@ func quantizeInPlace(g []float64, bits int) {
 	}
 }
 
-// broadcastBytes accounts the server→workers traffic for the averaged
-// update under the same compression settings.
-func broadcastBytes(avg []float64, cfg Config) int64 {
+// perWorkerBroadcastBytes accounts the server→one-worker traffic for the
+// averaged update under the same compression settings.
+func perWorkerBroadcastBytes(avg []float64, cfg Config) int64 {
 	nz := 0
 	for _, v := range avg {
 		if v != 0 {
@@ -286,7 +708,13 @@ func broadcastBytes(avg []float64, cfg Config) int64 {
 	if cfg.TopK < 1 {
 		per += int64(nz) * 4
 	}
-	return per * int64(cfg.Workers)
+	return per
+}
+
+// broadcastBytes accounts the server→workers traffic for the averaged
+// update under the same compression settings.
+func broadcastBytes(avg []float64, cfg Config, workers int) int64 {
+	return perWorkerBroadcastBytes(avg, cfg) * int64(workers)
 }
 
 // StepTimeModel computes the simulated per-step wall-clock time of

@@ -7,7 +7,9 @@ import (
 
 	"dlsys/internal/data"
 	"dlsys/internal/device"
+	"dlsys/internal/fault"
 	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
 )
 
 func distDataset(seed int64) (*data.Dataset, *data.Dataset) {
@@ -18,10 +20,19 @@ func distDataset(seed int64) (*data.Dataset, *data.Dataset) {
 
 var distArch = nn.MLPConfig{In: 5, Hidden: []int{24}, Out: 3}
 
+func mustTrain(t *testing.T, seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats) {
+	t.Helper()
+	net, stats, err := Train(seed, x, y, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return net, stats
+}
+
 func TestSyncSGDConverges(t *testing.T) {
 	train, test := distDataset(1)
 	y := nn.OneHot(train.Labels, 3)
-	net, stats := Train(10, train.X, y, Config{
+	net, stats := mustTrain(t, 10, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 20, BatchSize: 16, LR: 0.1, AveragePeriod: 1,
 	})
 	if acc := net.Accuracy(test.X, test.Labels); acc < 0.85 {
@@ -30,6 +41,30 @@ func TestSyncSGDConverges(t *testing.T) {
 	if stats.BytesSent == 0 || stats.AveragingRound == 0 {
 		t.Fatal("no communication recorded")
 	}
+	if stats.Retransmissions != 0 || stats.Crashes != 0 || stats.Restores != 0 {
+		t.Fatalf("fault-free run recorded faults: %+v", stats)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	train, _ := distDataset(1)
+	y := nn.OneHot(train.Labels, 3)
+	if _, _, err := Train(1, train.X, y, Config{Workers: 0, Arch: distArch, Epochs: 1, BatchSize: 16, LR: 0.1}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, _, err := Train(1, train.X, y, Config{Workers: 2, Arch: distArch, Epochs: 1, BatchSize: 0, LR: 0.1}); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	if _, _, err := Train(1, train.X, y, Config{Workers: 2, Arch: distArch, Epochs: -1, BatchSize: 16, LR: 0.1}); err == nil {
+		t.Fatal("negative epochs accepted")
+	}
+	if _, _, err := Train(1, train.X, y, Config{Workers: 2, Arch: distArch, Epochs: 1, BatchSize: 16, LR: 0.1, DropSlowestK: 2}); err == nil {
+		t.Fatal("DropSlowestK >= workers accepted")
+	}
+	if _, _, err := Train(1, train.X, y, Config{Workers: 2, Arch: distArch, Epochs: 1, BatchSize: 16, LR: 0.1,
+		Fault: fault.Config{DropProb: 1.5}}); err == nil {
+		t.Fatal("out-of-range fault probability accepted")
+	}
 }
 
 func TestLocalSGDReducesBytesMonotonically(t *testing.T) {
@@ -37,7 +72,7 @@ func TestLocalSGDReducesBytesMonotonically(t *testing.T) {
 	y := nn.OneHot(train.Labels, 3)
 	var prev int64 = math.MaxInt64
 	for _, h := range []int{2, 8, 32} {
-		_, stats := Train(20, train.X, y, Config{
+		_, stats := mustTrain(t, 20, train.X, y, Config{
 			Workers: 4, Arch: distArch, Epochs: 10, BatchSize: 16, LR: 0.1, AveragePeriod: h,
 		})
 		if stats.BytesSent >= prev {
@@ -50,7 +85,7 @@ func TestLocalSGDReducesBytesMonotonically(t *testing.T) {
 func TestLocalSGDStillLearnsAtLargeH(t *testing.T) {
 	train, test := distDataset(3)
 	y := nn.OneHot(train.Labels, 3)
-	net, _ := Train(30, train.X, y, Config{
+	net, _ := mustTrain(t, 30, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 20, BatchSize: 16, LR: 0.1, AveragePeriod: 16,
 	})
 	if acc := net.Accuracy(test.X, test.Labels); acc < 0.8 {
@@ -61,10 +96,10 @@ func TestLocalSGDStillLearnsAtLargeH(t *testing.T) {
 func TestTopKSparsificationSavesBytes(t *testing.T) {
 	train, test := distDataset(4)
 	y := nn.OneHot(train.Labels, 3)
-	_, dense := Train(40, train.X, y, Config{
+	_, dense := mustTrain(t, 40, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 15, BatchSize: 16, LR: 0.1, AveragePeriod: 1, TopK: 1,
 	})
-	netS, sparse := Train(40, train.X, y, Config{
+	netS, sparse := mustTrain(t, 40, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 15, BatchSize: 16, LR: 0.1, AveragePeriod: 1, TopK: 0.05,
 	})
 	if sparse.BytesSent >= dense.BytesSent/3 {
@@ -78,10 +113,10 @@ func TestTopKSparsificationSavesBytes(t *testing.T) {
 func TestQuantizedGradientsSaveBytesAndConverge(t *testing.T) {
 	train, test := distDataset(5)
 	y := nn.OneHot(train.Labels, 3)
-	_, dense := Train(50, train.X, y, Config{
+	_, dense := mustTrain(t, 50, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 15, BatchSize: 16, LR: 0.1, AveragePeriod: 1,
 	})
-	netQ, quant := Train(50, train.X, y, Config{
+	netQ, quant := mustTrain(t, 50, train.X, y, Config{
 		Workers: 4, Arch: distArch, Epochs: 15, BatchSize: 16, LR: 0.1, AveragePeriod: 1, QuantBits: 8,
 	})
 	if quant.BytesSent >= dense.BytesSent {
@@ -102,7 +137,7 @@ func TestSyncEqualsSequentialBigBatch(t *testing.T) {
 
 	workers := 4
 	perWorker := 8
-	net, _ := Train(60, tr4.X, y, Config{
+	net, _ := mustTrain(t, 60, tr4.X, y, Config{
 		Workers: workers, Arch: distArch, Epochs: 1, BatchSize: perWorker, LR: 0.05, AveragePeriod: 1,
 	})
 
@@ -111,11 +146,11 @@ func TestSyncEqualsSequentialBigBatch(t *testing.T) {
 	ref := nn.NewMLP(rand.New(rand.NewSource(60)), distArch)
 	reftr := nn.NewTrainer(ref, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(0.05), rand.New(rand.NewSource(999)))
 	shards := shardIndices(n, workers)
-	// Shuffle each shard exactly as Train did (worker shuffles consume the
-	// same rng stream). Reproduce by re-deriving from the same seed.
-	rng := rand.New(rand.NewSource(60))
+	// Shuffle each shard exactly as Train did: every worker owns an RNG
+	// derived from (seed, workerID) and uses it only for its own shard.
 	for w := range shards {
-		rng.Shuffle(len(shards[w]), func(i, j int) {
+		wrng := rand.New(rand.NewSource(fault.WorkerSeed(60, w)))
+		wrng.Shuffle(len(shards[w]), func(i, j int) {
 			shards[w][i], shards[w][j] = shards[w][j], shards[w][i]
 		})
 	}
@@ -200,7 +235,7 @@ func TestErrorFeedbackMattersAtAggressiveTopK(t *testing.T) {
 	train, test := distDataset(7)
 	y := nn.OneHot(train.Labels, 3)
 	run := func(noEF bool) float64 {
-		net, _ := Train(70, train.X, y, Config{
+		net, _ := mustTrain(t, 70, train.X, y, Config{
 			Workers: 4, Arch: distArch, Epochs: 15, BatchSize: 16, LR: 0.1,
 			AveragePeriod: 1, TopK: 0.01, NoErrorFeedback: noEF,
 		})

@@ -1,0 +1,263 @@
+// Package fault is a deterministic, seedable fault injector for the
+// simulated training systems in dlsys. Production-scale training must
+// survive worker crashes, stragglers, lost messages, and corrupted
+// payloads; following the "design reliability in, then test it with
+// injected failures" methodology (Engineering Reliable Deep Learning
+// Systems, arXiv:1910.12582), every fault class here is derived purely
+// from (seed, kind, worker, step, attempt) by a splitmix64-style hash, so
+//
+//   - the same seed always yields exactly the same failure scenario, and
+//   - the outcome of one query never depends on how many other queries
+//     were made or in what order (unlike a shared rand.Rand stream).
+//
+// That order-independence is what lets the injector be threaded through
+// concurrent components (parallel workers, retrying senders) while keeping
+// whole-run results bit-reproducible.
+package fault
+
+import "math"
+
+// Kind enumerates the injectable fault classes.
+type Kind uint32
+
+// Fault classes. Each kind draws from an independent hash stream, so e.g.
+// enabling crashes does not perturb which messages are dropped.
+const (
+	KindCrash    Kind = 1 + iota // worker dies and must restart from a snapshot
+	KindStraggle                 // worker's step is slowed by a latency multiplier
+	KindDrop                     // message lost in flight (sender must retry)
+	KindCorrupt                  // payload bit-flipped in flight (CRC must catch it)
+	KindStage                    // pipeline stage failure (graceful degradation)
+)
+
+// String names the kind for schedules and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindStraggle:
+		return "straggle"
+	case KindDrop:
+		return "drop"
+	case KindCorrupt:
+		return "corrupt"
+	case KindStage:
+		return "stage-fail"
+	}
+	return "unknown"
+}
+
+// Config sets the per-event probabilities of each fault class. The zero
+// value injects nothing (a perfect world).
+type Config struct {
+	Seed int64
+
+	// CrashProb is the per-worker, per-round probability of a crash. A
+	// crashed worker is down for RestartDelay rounds and rejoins by
+	// restoring the latest model snapshot.
+	CrashProb float64
+	// RestartDelay is how many rounds a crashed worker stays down
+	// (default 3 when crashes are enabled).
+	RestartDelay int
+
+	// StragglerProb is the per-worker, per-round probability that a step
+	// is slowed by StragglerFactor (default 8x).
+	StragglerProb   float64
+	StragglerFactor float64
+
+	// DropProb is the per-attempt probability that a message is lost in
+	// flight, forcing a retransmission.
+	DropProb float64
+	// CorruptProb is the per-attempt probability that a payload arrives
+	// bit-corrupted; receivers detect this via CRC and request a resend.
+	CorruptProb float64
+}
+
+// Rate builds a Config in which one knob drives every fault class at
+// proportions typical of real clusters: message loss and stragglers at the
+// full rate, corruption at a fifth of it, crashes at a tenth.
+func Rate(seed int64, rate float64) Config {
+	return Config{
+		Seed:            seed,
+		CrashProb:       rate / 10,
+		RestartDelay:    3,
+		StragglerProb:   rate,
+		StragglerFactor: 8,
+		DropProb:        rate,
+		CorruptProb:     rate / 5,
+	}
+}
+
+// Enabled reports whether any fault class has nonzero probability.
+func (c Config) Enabled() bool {
+	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0
+}
+
+// Validate checks every probability is in [0, 1].
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"CrashProb", c.CrashProb}, {"StragglerProb", c.StragglerProb},
+		{"DropProb", c.DropProb}, {"CorruptProb", c.CorruptProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return &ConfigError{Field: p.name, Value: p.v}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports an out-of-range fault probability.
+type ConfigError struct {
+	Field string
+	Value float64
+}
+
+func (e *ConfigError) Error() string {
+	return "fault: " + e.Field + " out of [0,1]"
+}
+
+// Injector answers "does fault X happen at (worker, step, attempt)?"
+// deterministically. It is stateless and safe for concurrent use.
+type Injector struct {
+	cfg Config
+}
+
+// NewInjector builds an injector for the config. A nil injector (or one
+// with a zero config) injects nothing, so callers can thread it through
+// unconditionally.
+func NewInjector(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a fast,
+// well-distributed 64-bit mix used here as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps (seed, kind, worker, step, attempt) to a uniform [0,1) float.
+func (i *Injector) unit(kind Kind, worker, step, attempt int) float64 {
+	h := splitmix64(uint64(i.cfg.Seed))
+	h = splitmix64(h ^ uint64(kind))
+	h = splitmix64(h ^ uint64(int64(worker)))
+	h = splitmix64(h ^ uint64(int64(step)))
+	h = splitmix64(h ^ uint64(int64(attempt)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Chance is the generic deterministic Bernoulli draw: it reports whether
+// the event of the given kind fires at (worker, step, attempt) under
+// probability p. Components with fault classes beyond the built-in ones
+// (e.g. pipeline stage failures) build on this directly.
+func (i *Injector) Chance(kind Kind, worker, step, attempt int, p float64) bool {
+	if i == nil || p <= 0 {
+		return false
+	}
+	return i.unit(kind, worker, step, attempt) < p
+}
+
+// Crashes reports whether the worker crashes at the given round.
+func (i *Injector) Crashes(worker, round int) bool {
+	if i == nil {
+		return false
+	}
+	return i.Chance(KindCrash, worker, round, 0, i.cfg.CrashProb)
+}
+
+// RestartDelay returns how many rounds a crashed worker stays down.
+func (i *Injector) RestartDelay() int {
+	if i == nil || i.cfg.RestartDelay <= 0 {
+		return 3
+	}
+	return i.cfg.RestartDelay
+}
+
+// StraggleFactor returns the latency multiplier for the worker's compute
+// at the given round: 1 normally, the configured factor when straggling.
+func (i *Injector) StraggleFactor(worker, round int) float64 {
+	if i == nil || !i.Chance(KindStraggle, worker, round, 0, i.cfg.StragglerProb) {
+		return 1
+	}
+	if i.cfg.StragglerFactor <= 1 {
+		return 8
+	}
+	return i.cfg.StragglerFactor
+}
+
+// Drops reports whether the attempt-th transmission of the worker's
+// message at the given round is lost in flight.
+func (i *Injector) Drops(worker, round, attempt int) bool {
+	if i == nil {
+		return false
+	}
+	return i.Chance(KindDrop, worker, round, attempt, i.cfg.DropProb)
+}
+
+// Corrupts reports whether the attempt-th transmission arrives with
+// flipped bits (to be caught by the receiver's CRC).
+func (i *Injector) Corrupts(worker, round, attempt int) bool {
+	if i == nil {
+		return false
+	}
+	return i.Chance(KindCorrupt, worker, round, attempt, i.cfg.CorruptProb)
+}
+
+// CorruptPayload deterministically flips one bit of payload (chosen by the
+// same hash stream as Corrupts) and returns it. Used to exercise real CRC
+// detection rather than just simulating a boolean.
+func (i *Injector) CorruptPayload(payload []byte, worker, round, attempt int) []byte {
+	if i == nil || len(payload) == 0 {
+		return payload
+	}
+	h := splitmix64(uint64(i.cfg.Seed)) ^ splitmix64(uint64(KindCorrupt)<<32|uint64(int64(worker)))
+	h = splitmix64(h ^ uint64(int64(round))<<16 ^ uint64(int64(attempt)))
+	bit := h % uint64(len(payload)*8)
+	payload[bit/8] ^= 1 << (bit % 8)
+	return payload
+}
+
+// Event is one scheduled fault occurrence.
+type Event struct {
+	Round  int
+	Worker int
+	Kind   Kind
+	// Factor is the straggler latency multiplier (KindStraggle only).
+	Factor float64
+}
+
+// Schedule enumerates the crash and straggler events the injector will
+// produce for the given worker count and round horizon, in (round, worker)
+// order. Drop/corrupt events are attempt-dependent (they depend on how
+// often senders retry) and so are not part of the static schedule.
+func (i *Injector) Schedule(workers, rounds int) []Event {
+	var evs []Event
+	if i == nil {
+		return evs
+	}
+	for r := 0; r < rounds; r++ {
+		for w := 0; w < workers; w++ {
+			if i.Crashes(w, r) {
+				evs = append(evs, Event{Round: r, Worker: w, Kind: KindCrash})
+			}
+			if f := i.StraggleFactor(w, r); f > 1 {
+				evs = append(evs, Event{Round: r, Worker: w, Kind: KindStraggle, Factor: f})
+			}
+		}
+	}
+	return evs
+}
+
+// WorkerSeed derives an independent RNG seed for one worker from the run
+// seed, so per-worker random streams (batch shuffles, initialisation) are
+// stable regardless of the order or interleaving in which workers execute —
+// a prerequisite for fault-injected reordering not changing results.
+func WorkerSeed(seed int64, worker int) int64 {
+	s := splitmix64(uint64(seed) ^ splitmix64(uint64(int64(worker))+0x517cc1b727220a95))
+	// Keep the seed positive for readability in logs; rand.NewSource
+	// accepts any int64 but negative seeds read poorly.
+	return int64(s & math.MaxInt64)
+}

@@ -149,11 +149,18 @@ func (n *Network) Accuracy(x *tensor.Tensor, labels []int) float64 {
 // ParamVector flattens all parameter values into a single slice in layer
 // order. Used by distributed training and ensemble interpolation.
 func (n *Network) ParamVector() []float64 {
-	out := make([]float64, 0, n.NumParams())
+	return n.ParamVectorInto(make([]float64, 0, n.NumParams()))
+}
+
+// ParamVectorInto flattens the parameters into dst, reusing its capacity,
+// and returns the (possibly regrown) slice. Loops that repeatedly snapshot
+// or average models use it to avoid a fresh allocation per call.
+func (n *Network) ParamVectorInto(dst []float64) []float64 {
+	dst = dst[:0]
 	for _, p := range n.Params() {
-		out = append(out, p.Value.Data...)
+		dst = append(dst, p.Value.Data...)
 	}
-	return out
+	return dst
 }
 
 // SetParamVector writes a flat vector (from ParamVector of an identically

@@ -5,15 +5,23 @@
 // the tutorial's tradeoff framework — accuracy, training cost, model size,
 // inference cost, and carbon footprint — so alternatives can be compared
 // like query plans.
+//
+// Execution degrades gracefully: optional compression stages (prune,
+// distill, quantize, int8 deployment) that fail — whether by an injected
+// fault (Spec.FaultRate) or an internal panic — fall back to the model
+// from before the stage, and the degradation is recorded in the Ledger
+// rather than aborting the pipeline.
 package pipeline
 
 import (
 	"fmt"
 	"math/rand"
 
+	"dlsys/internal/checkpoint"
 	"dlsys/internal/data"
 	"dlsys/internal/device"
 	"dlsys/internal/distill"
+	"dlsys/internal/fault"
 	"dlsys/internal/green"
 	"dlsys/internal/nn"
 	"dlsys/internal/prune"
@@ -41,6 +49,14 @@ type Spec struct {
 	QuantizeBits  int     // 0 = skip; quantize-dequantize weights
 	IntInference  bool    // compile the int8 path for deployment metrics
 
+	// FaultRate is the deterministic per-stage failure probability for the
+	// optional compression stages. A failed stage falls back to the
+	// pre-stage model and is recorded in Ledger.Degraded — the pipeline
+	// ships a bigger model rather than no model.
+	FaultRate float64
+	// FaultSeed seeds stage-failure injection (default: Seed).
+	FaultSeed int64
+
 	// Deployment target for time/energy estimates
 	Device device.Profile // zero → device.GPUSmall
 	Region green.Region   // zero → green.MixedUS
@@ -56,13 +72,18 @@ type Ledger struct {
 	InferenceFLOPs int64 // per single example
 	InferenceUs    float64
 	Stages         []string // human-readable trace of what ran
+	Degraded       []string // optional stages that failed and fell back
 }
 
 // String renders the ledger as one comparison row.
 func (l Ledger) String() string {
-	return fmt.Sprintf("acc=%.3f trainGFLOPs=%.2f train=%.3gs co2=%.3gg size=%dB infFLOPs=%d inf=%.3gus %v",
+	s := fmt.Sprintf("acc=%.3f trainGFLOPs=%.2f train=%.3gs co2=%.3gg size=%dB infFLOPs=%d inf=%.3gus %v",
 		l.Accuracy, float64(l.TrainFLOPs)/1e9, l.TrainSeconds, l.TrainCO2Grams,
 		l.ModelBytes, l.InferenceFLOPs, l.InferenceUs, l.Stages)
+	if len(l.Degraded) > 0 {
+		s += fmt.Sprintf(" degraded=%v", l.Degraded)
+	}
+	return s
 }
 
 func (s *Spec) defaults() {
@@ -90,6 +111,9 @@ func (s *Spec) defaults() {
 	if s.LR == 0 {
 		s.LR = 0.01
 	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = s.Seed
+	}
 	if s.Device.Name == "" {
 		s.Device = device.GPUSmall
 	}
@@ -98,15 +122,69 @@ func (s *Spec) defaults() {
 	}
 }
 
+// validate returns an error for any out-of-range field instead of letting
+// a downstream stage panic.
+func (s *Spec) validate() error {
+	if s.Examples < 0 || s.Features < 0 || s.Classes < 0 {
+		return fmt.Errorf("pipeline: negative data dimensions (%d examples, %d features, %d classes)",
+			s.Examples, s.Features, s.Classes)
+	}
+	if s.Epochs < 0 || s.BatchSize < 0 {
+		return fmt.Errorf("pipeline: negative training knob (epochs %d, batch %d)", s.Epochs, s.BatchSize)
+	}
+	if s.PruneSparsity < 0 || s.PruneSparsity >= 1 {
+		return fmt.Errorf("pipeline: prune sparsity %g out of [0,1)", s.PruneSparsity)
+	}
+	if s.DistillWidth < 0 {
+		return fmt.Errorf("pipeline: negative distill width %d", s.DistillWidth)
+	}
+	if s.QuantizeBits < 0 || s.QuantizeBits > 16 && s.QuantizeBits != 32 {
+		return fmt.Errorf("pipeline: quantize bits %d out of range", s.QuantizeBits)
+	}
+	if s.FaultRate < 0 || s.FaultRate > 1 {
+		return fmt.Errorf("pipeline: fault rate %g out of [0,1]", s.FaultRate)
+	}
+	return nil
+}
+
+// Stage indices for deterministic fault injection: each optional stage has
+// a stable slot in the injector's hash stream.
+const (
+	stagePrune = iota
+	stageDistill
+	stageQuantize
+	stageIntInfer
+)
+
+// runStage executes one optional pipeline stage, converting panics into
+// errors and injecting deterministic failures at the spec's FaultRate. On
+// any failure the caller falls back to the pre-stage model; the returned
+// error says why.
+func runStage(name string, idx int, inj *fault.Injector, rate float64, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: stage %s panicked: %v", name, r)
+		}
+	}()
+	if inj.Chance(fault.KindStage, 0, idx, 0, rate) {
+		return fmt.Errorf("pipeline: stage %s failed (injected fault)", name)
+	}
+	return f()
+}
+
+// degrade records a failed optional stage in the ledger.
+func degrade(l *Ledger, name string, err error) {
+	l.Stages = append(l.Stages, name+"(failed→fallback)")
+	l.Degraded = append(l.Degraded, fmt.Sprintf("%s: %v", name, err))
+}
+
 // Run executes the declared pipeline and returns its ledger.
 func Run(spec Spec) (Ledger, error) {
 	spec.defaults()
-	if spec.PruneSparsity < 0 || spec.PruneSparsity >= 1 {
-		return Ledger{}, fmt.Errorf("pipeline: prune sparsity %g out of [0,1)", spec.PruneSparsity)
+	if err := spec.validate(); err != nil {
+		return Ledger{}, err
 	}
-	if spec.QuantizeBits < 0 || spec.QuantizeBits > 16 && spec.QuantizeBits != 32 {
-		return Ledger{}, fmt.Errorf("pipeline: quantize bits %d out of range", spec.QuantizeBits)
-	}
+	inj := fault.NewInjector(fault.Config{Seed: spec.FaultSeed})
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 	ds := data.GaussianMixture(rng, spec.Examples, spec.Features, spec.Classes, spec.Sep)
 	train, test := ds.Split(rng, 0.8)
@@ -121,46 +199,89 @@ func Run(spec Spec) (Ledger, error) {
 	ledger.Stages = append(ledger.Stages, fmt.Sprintf("train(%v,%dep)", spec.Hidden, spec.Epochs))
 
 	if spec.PruneSparsity > 0 {
-		prune.GlobalPrune(rng, net, spec.PruneSparsity, prune.Magnitude)
-		s := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs / 5, BatchSize: spec.BatchSize})
-		ledger.TrainFLOPs += s.FLOPs
-		ledger.Stages = append(ledger.Stages, fmt.Sprintf("prune(%.0f%%)", spec.PruneSparsity*100))
+		// Keep a CRC-checked snapshot so a failed prune restores the dense
+		// model exactly.
+		pre := checkpoint.TakeSnapshot(0, net)
+		err := runStage("prune", stagePrune, inj, spec.FaultRate, func() error {
+			prune.GlobalPrune(rng, net, spec.PruneSparsity, prune.Magnitude)
+			s := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs / 5, BatchSize: spec.BatchSize})
+			ledger.TrainFLOPs += s.FLOPs
+			return nil
+		})
+		if err != nil {
+			clearMasks(net)
+			if rerr := pre.Restore(net); rerr != nil {
+				return Ledger{}, fmt.Errorf("pipeline: prune fallback failed: %w", rerr)
+			}
+			degrade(&ledger, "prune", err)
+		} else {
+			ledger.Stages = append(ledger.Stages, fmt.Sprintf("prune(%.0f%%)", spec.PruneSparsity*100))
+		}
 	}
 
 	deployed := net
 	deployedCfg := cfg
+	pruneHeld := spec.PruneSparsity > 0 && len(ledger.Degraded) == 0
 	if spec.DistillWidth > 0 {
 		sCfg := nn.MLPConfig{In: spec.Features, Hidden: []int{spec.DistillWidth}, Out: spec.Classes}
 		student := nn.NewMLP(rng, sCfg)
-		ds := distill.Distill(rng, net, student, train.X, y, distill.Config{
-			Alpha: 0.3, T: 3, Epochs: spec.Epochs, BatchSize: spec.BatchSize, LR: spec.LR,
+		err := runStage("distill", stageDistill, inj, spec.FaultRate, func() error {
+			ds := distill.Distill(rng, net, student, train.X, y, distill.Config{
+				Alpha: 0.3, T: 3, Epochs: spec.Epochs, BatchSize: spec.BatchSize, LR: spec.LR,
+			})
+			ledger.TrainFLOPs += ds.FLOPs
+			return nil
 		})
-		ledger.TrainFLOPs += ds.FLOPs
-		deployed = student
-		deployedCfg = sCfg
-		ledger.Stages = append(ledger.Stages, fmt.Sprintf("distill(w=%d)", spec.DistillWidth))
+		if err != nil {
+			degrade(&ledger, "distill", err) // deployed stays the teacher
+		} else {
+			deployed = student
+			deployedCfg = sCfg
+			ledger.Stages = append(ledger.Stages, fmt.Sprintf("distill(w=%d)", spec.DistillWidth))
+		}
 	}
 
 	ledger.ModelBytes = deployed.ParamBytes(32)
-	if spec.PruneSparsity > 0 && spec.DistillWidth == 0 {
+	if pruneHeld && deployed == net {
 		// The pruned network deploys in a sparse format.
 		ledger.ModelBytes = prune.NonzeroParamBytes(deployed)
 	}
 	if spec.QuantizeBits > 0 && spec.QuantizeBits < 32 {
-		state, bytes := quant.QuantizeNetwork(deployed, spec.QuantizeBits)
-		qnet := nn.NewMLP(rand.New(rand.NewSource(spec.Seed+2)), deployedCfg)
-		qnet.LoadStateDict(state)
-		deployed = qnet
-		ledger.ModelBytes = bytes
-		ledger.Stages = append(ledger.Stages, fmt.Sprintf("quantize(%db)", spec.QuantizeBits))
+		var qnet *nn.Network
+		var qbytes int64
+		err := runStage("quantize", stageQuantize, inj, spec.FaultRate, func() error {
+			state, bytes := quant.QuantizeNetwork(deployed, spec.QuantizeBits)
+			qnet = nn.NewMLP(rand.New(rand.NewSource(spec.Seed+2)), deployedCfg)
+			qnet.LoadStateDict(state)
+			qbytes = bytes
+			return nil
+		})
+		if err != nil {
+			degrade(&ledger, "quantize", err) // ship the float model
+		} else {
+			deployed = qnet
+			ledger.ModelBytes = qbytes
+			ledger.Stages = append(ledger.Stages, fmt.Sprintf("quantize(%db)", spec.QuantizeBits))
+		}
 	}
 
+	intDeployed := false
 	if spec.IntInference {
-		im := quant.CompileIntMLP(deployed)
-		ledger.Accuracy = im.Accuracy(test.X, test.Labels)
-		ledger.ModelBytes = im.Bytes()
-		ledger.Stages = append(ledger.Stages, "int8-deploy")
-	} else {
+		var im *quant.IntMLP
+		err := runStage("int8-deploy", stageIntInfer, inj, spec.FaultRate, func() error {
+			im = quant.CompileIntMLP(deployed)
+			return nil
+		})
+		if err != nil {
+			degrade(&ledger, "int8-deploy", err) // fall back to the float path
+		} else {
+			ledger.Accuracy = im.Accuracy(test.X, test.Labels)
+			ledger.ModelBytes = im.Bytes()
+			ledger.Stages = append(ledger.Stages, "int8-deploy")
+			intDeployed = true
+		}
+	}
+	if !intDeployed {
 		ledger.Accuracy = deployed.Accuracy(test.X, test.Labels)
 	}
 
@@ -170,6 +291,16 @@ func Run(spec Spec) (Ledger, error) {
 	fp := green.Estimate(ledger.TrainFLOPs, spec.Device, spec.Region, 0.5)
 	ledger.TrainCO2Grams = fp.CO2Grams
 	return ledger, nil
+}
+
+// clearMasks removes pruning masks so a restored parameter snapshot is
+// exactly the pre-prune dense model.
+func clearMasks(net *nn.Network) {
+	for _, l := range net.Layers {
+		if d, ok := l.(*nn.Dense); ok {
+			d.SetMask(nil)
+		}
+	}
 }
 
 // Compare runs several specs and returns their ledgers in order — the

@@ -101,4 +101,88 @@ func TestInvalidSpecs(t *testing.T) {
 	if _, err := Run(Spec{PruneSparsity: -0.1}); err == nil {
 		t.Fatal("negative sparsity should be rejected")
 	}
+	if _, err := Run(Spec{FaultRate: 1.5}); err == nil {
+		t.Fatal("fault rate > 1 should be rejected")
+	}
+	if _, err := Run(Spec{Epochs: -1}); err == nil {
+		t.Fatal("negative epochs should be rejected")
+	}
+}
+
+// With every optional stage failing, the pipeline must still ship the
+// plain trained model — same accuracy and size as a train-only run —
+// and record each degradation.
+func TestAllStagesDegradedShipsBaseModel(t *testing.T) {
+	base, err := Run(Spec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Run(Spec{
+		Seed: 7, PruneSparsity: 0.5, DistillWidth: 8, QuantizeBits: 8, IntInference: true,
+		FaultRate: 1,
+	})
+	if err != nil {
+		t.Fatalf("fully degraded pipeline must not error: %v", err)
+	}
+	if len(l.Degraded) != 4 {
+		t.Fatalf("degraded %v, want all 4 optional stages", l.Degraded)
+	}
+	for _, s := range l.Stages[1:] {
+		if !strings.HasSuffix(s, "(failed→fallback)") {
+			t.Fatalf("stage %q not marked as fallback", s)
+		}
+	}
+	if l.Accuracy != base.Accuracy {
+		t.Fatalf("fallback accuracy %.4f != train-only %.4f", l.Accuracy, base.Accuracy)
+	}
+	if l.ModelBytes != base.ModelBytes {
+		t.Fatalf("fallback size %dB != train-only %dB", l.ModelBytes, base.ModelBytes)
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	spec := Spec{
+		Seed: 8, PruneSparsity: 0.5, DistillWidth: 8, QuantizeBits: 8,
+		FaultRate: 0.5, FaultSeed: 99,
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Degraded) != len(b.Degraded) {
+		t.Fatalf("same fault seed degraded %v vs %v", a.Degraded, b.Degraded)
+	}
+	for i := range a.Degraded {
+		if a.Degraded[i] != b.Degraded[i] {
+			t.Fatalf("same fault seed degraded %v vs %v", a.Degraded, b.Degraded)
+		}
+	}
+	if a.Accuracy != b.Accuracy || a.ModelBytes != b.ModelBytes {
+		t.Fatal("same spec + fault seed must reproduce the ledger")
+	}
+}
+
+func TestFaultFreeRunHasNoDegradation(t *testing.T) {
+	l, err := Run(Spec{Seed: 9, PruneSparsity: 0.5, QuantizeBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Degraded) != 0 {
+		t.Fatalf("zero fault rate degraded stages: %v", l.Degraded)
+	}
+}
+
+// runStage must convert a mid-stage panic into an error so the caller can
+// fall back instead of crashing the pipeline.
+func TestRunStageRecoversPanics(t *testing.T) {
+	err := runStage("boom", 0, nil, 0, func() error {
+		panic("stage exploded")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
 }
