@@ -30,7 +30,11 @@ func main() {
 
 	// 2. Quantize to 8 and 4 bits.
 	for _, bits := range []int{8, 4} {
-		state, bytes := quant.QuantizeNetwork(net, bits)
+		state, bytes, err := quant.QuantizeNetwork(net, bits)
+		if err != nil {
+			fmt.Println("quantize failed:", err)
+			continue
+		}
 		q := nn.NewMLP(rand.New(rand.NewSource(1)), cfg)
 		q.LoadStateDict(state)
 		fmt.Printf("%d-bit quantized: acc=%.3f size=%dB (float32: %dB)\n",
@@ -42,7 +46,10 @@ func main() {
 	fmt.Printf("int8 inference: acc=%.3f size=%dB\n", im.Accuracy(test.X, test.Labels), im.Bytes())
 
 	// 4. Prune to 80% sparsity and fine-tune briefly.
-	prune.GlobalPrune(rng, net, 0.8, prune.Magnitude)
+	if err := prune.GlobalPrune(rng, net, 0.8, prune.Magnitude); err != nil {
+		fmt.Println("prune failed:", err)
+		return
+	}
 	trainer.Fit(train.X, y, nn.TrainConfig{Epochs: 5, BatchSize: 32})
 	fmt.Printf("80%%-pruned + finetune: acc=%.3f sparsity=%.2f sparse-size=%dB\n",
 		net.Accuracy(test.X, test.Labels), prune.Sparsity(net), prune.NonzeroParamBytes(net))

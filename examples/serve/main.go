@@ -1,0 +1,68 @@
+// Serve: robust model serving over a compressed-fallback fleet. A full
+// model and its quantized/distilled/pruned variants are trained once; then
+// a replica fleet (2x full + one replica per compressed tier) handles the
+// same deterministic request stream at rising fault rates, with graceful
+// degradation toggled off and on. Admission control sheds what cannot meet
+// its deadline, hedged retries cut tail latency, circuit breakers isolate
+// faulty replicas, and the tier mix shows where traffic lands when the
+// full replicas falter.
+package main
+
+import (
+	"fmt"
+
+	"dlsys/internal/device"
+	"dlsys/internal/fault"
+	"dlsys/internal/serve"
+)
+
+func main() {
+	variants, eval, err := serve.BuildVariants(serve.VariantsConfig{
+		Seed: 21, Examples: 1200, Epochs: 20,
+	})
+	if err != nil {
+		fmt.Println("ERROR:", err)
+		return
+	}
+	fmt.Println("model ladder (accuracy on held-out split, streamed bytes):")
+	for _, v := range variants {
+		fmt.Printf("  %-9s  acc=%.3f  bytes=%d  flops=%d\n", v.Tier, v.Accuracy, v.Bytes, v.FLOPs)
+	}
+
+	mk := func(v serve.Variant) serve.Replica {
+		return serve.Replica{Variant: v, Device: device.EdgeDevice, Efficiency: 0.5}
+	}
+	fleet := []serve.Replica{mk(variants[0]), mk(variants[0]), mk(variants[1]), mk(variants[2]), mk(variants[3])}
+	serviceFull := fleet[0].ServiceS()
+
+	fmt.Println("\n1000 requests at 1.3x the full replicas' capacity, rising fault rate:")
+	fmt.Println("rate  fallback  avail  p50us  p99us  shed  hedgewins  bropen  brclose  servedacc  tiermix(full/quant/dist/prune)")
+	for _, rate := range []float64{0, 0.05, 0.2} {
+		for _, fallback := range []bool{false, true} {
+			srv, err := serve.NewServer(serve.Config{
+				Seed:          23,
+				Faults:        fault.Rate(23, rate),
+				Replicas:      fleet,
+				ArrivalRate:   1.3 * 2 / serviceFull,
+				Requests:      1000,
+				HedgeQuantile: 0.9,
+				Fallback:      fallback,
+				EvalX:         eval.X,
+				EvalLabels:    eval.Labels,
+			})
+			if err != nil {
+				fmt.Printf("%.2f  ERROR: %v\n", rate, err)
+				continue
+			}
+			res := srv.Run()
+			fmt.Printf("%.2f  %-8v  %.3f  %-5.1f  %-5.1f  %-4d  %-9d  %-6d  %-7d  %.3f      %d/%d/%d/%d\n",
+				rate, fallback, res.Availability, res.P50S*1e6, res.P99S*1e6,
+				res.Shed, res.HedgeWins, res.BreakerOpened, res.BreakerReclosed, res.MixAccuracy,
+				res.TierCounts[serve.TierFull], res.TierCounts[serve.TierQuantized],
+				res.TierCounts[serve.TierDistilled], res.TierCounts[serve.TierPruned])
+		}
+	}
+	fmt.Println("\nwith fallback the fleet degrades to compressed tiers instead of")
+	fmt.Println("shedding: availability stays higher at every fault rate, at a small,")
+	fmt.Println("measured served-accuracy cost.")
+}

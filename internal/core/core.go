@@ -67,6 +67,10 @@ func Techniques() []Technique {
 		{"deterministic fault injection", "fault", []Metric{Reliability, Transparency}, nil, "2.1"},
 		{"model-state checkpointing", "checkpoint", []Metric{Reliability}, []Metric{Memory, TrainingTime}, "2.3"},
 		{"graceful pipeline degradation", "pipeline", []Metric{Reliability}, []Metric{Accuracy, Memory}, "3"},
+		{"deadline-aware load shedding", "serve", []Metric{Reliability, InferenceTime}, nil, "2.1"},
+		{"request retry with hedging", "serve", []Metric{Reliability, InferenceTime}, []Metric{Communication}, "2.1"},
+		{"per-replica circuit breakers", "serve", []Metric{Reliability}, nil, "2.1"},
+		{"tiered model fallback", "serve", []Metric{Reliability, InferenceTime}, []Metric{Accuracy}, "2.1"},
 		{"flexflow-style search", "planner", []Metric{TrainingTime}, []Metric{OptimizeTime}, "2.2"},
 		{"morphnet resizing", "planner", []Metric{InferenceTime, Memory}, []Metric{OptimizeTime}, "2.2"},
 		{"activation checkpointing", "checkpoint", []Metric{Memory}, []Metric{TrainingTime}, "2.3"},

@@ -33,8 +33,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	ext := Extensions()
-	if len(ext) != 5 {
-		t.Fatalf("registered %d extensions, want 5", len(ext))
+	if len(ext) != 6 {
+		t.Fatalf("registered %d extensions, want 6", len(ext))
 	}
 	// Order: claims, then ablations, then extensions.
 	if All()[0].ID != "E1" || All()[32].ID != "A1" || All()[41].ID != "X1" {
@@ -68,7 +68,7 @@ func TestTechniquesCoverAllSections(t *testing.T) {
 	}
 	for _, p := range []string{"quant", "prune", "distill", "ensemble", "distributed",
 		"planner", "checkpoint", "learned", "explore", "fairness", "interpret", "modelstore",
-		"green", "fault", "pipeline"} {
+		"green", "fault", "pipeline", "serve"} {
 		if !packages[p] {
 			t.Fatalf("package %s not represented in the technique framework", p)
 		}
@@ -116,5 +116,59 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				t.Fatal("experiment did not record its expected shape")
 			}
 		})
+	}
+}
+
+// X6's acceptance criteria must hold deterministically: at fault rate 0.2
+// the fallback fleet's availability is strictly above the full-only
+// fleet's at every load, breakers both open and re-close, and the served
+// mix's measured accuracy degrades by a bounded amount.
+func TestX6FallbackClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X6 sweep skipped in -short mode")
+	}
+	e, ok := Get("X6")
+	if !ok {
+		t.Fatal("X6 not registered")
+	}
+	tab := e.Run(Quick)
+	t.Log("\n" + tab.Render())
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+	f := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(row[col[name]], 64)
+		if err != nil {
+			t.Fatalf("column %s unparsable in row %v: %v", name, row, err)
+		}
+		return v
+	}
+	avail := map[string]map[bool]float64{} // "rate/load" -> fallback -> availability
+	var opened, reclosed float64
+	for _, row := range tab.Rows {
+		key := row[col["fault_rate"]] + "/" + row[col["load"]]
+		fb := row[col["fallback"]] == "true"
+		if avail[key] == nil {
+			avail[key] = map[bool]float64{}
+		}
+		avail[key][fb] = f(row, "avail")
+		if fb {
+			opened += f(row, "br_open")
+			reclosed += f(row, "br_close")
+			if acc := f(row, "served_acc"); acc < 0.70 || acc > 1 {
+				t.Fatalf("served-mix accuracy %.3f out of the bounded range at %s", acc, key)
+			}
+		}
+	}
+	for _, load := range []string{"0.6", "1.3"} {
+		key := "0.2/" + load
+		if avail[key][true] <= avail[key][false] {
+			t.Fatalf("at %s fallback availability %.3f not strictly above full-only %.3f",
+				key, avail[key][true], avail[key][false])
+		}
+	}
+	if opened == 0 || reclosed == 0 {
+		t.Fatalf("breakers must both open and re-close: opened %v reclosed %v", opened, reclosed)
 	}
 }

@@ -35,7 +35,9 @@ func runModelstoreExperiment(scale Scale) *Table {
 		for li, l := range net.Layers {
 			h = l.Forward(h, false)
 			if _, ok := l.(*nn.ReLU); ok {
-				store.Put(fmt.Sprintf("v%d", v), fmt.Sprintf("layer%d", li), h)
+				if err := store.Put(fmt.Sprintf("v%d", v), fmt.Sprintf("layer%d", li), h); err != nil {
+					panic(err) // hidden activations are rank 2 by construction
+				}
 			}
 		}
 		maxErr, _ := store.MaxError(fmt.Sprintf("v%d", v), "layer1")

@@ -120,7 +120,11 @@ func runE1(scale Scale) *Table {
 		Columns: []string{"bits", "size_bytes", "accuracy", "acc_drop"}}
 	t.AddRow(32, net.ParamBytes(32), base, 0.0)
 	for _, bits := range []int{16, 8, 4, 2, 1} {
-		state, bytes := quant.QuantizeNetwork(net, bits)
+		state, bytes, err := quant.QuantizeNetwork(net, bits)
+		if err != nil {
+			t.AddRow(bits, int64(0), 0.0, 0.0)
+			continue
+		}
 		qnet := nn.NewMLP(rand.New(rand.NewSource(3)), cfg)
 		qnet.LoadStateDict(state)
 		acc := qnet.Accuracy(test.X, test.Labels)
@@ -141,7 +145,10 @@ func runE2(scale Scale) *Table {
 		var rawBytes, huffBytes int64
 		state := net.StateDict()
 		for _, p := range net.Params() {
-			cb := quant.QuantizeKMeans(rng, p.Value, k, 12)
+			cb, err := quant.QuantizeKMeans(rng, p.Value, k, 12)
+			if err != nil {
+				panic(err) // k is drawn from the in-range sweep above
+			}
 			rawBytes += cb.Bytes()
 			huffBytes += quant.HuffmanBytes(cb.Codes) + int64(len(cb.Centers))*8
 			state[p.Name] = cb.Dequantize().Data
@@ -170,7 +177,9 @@ func runE3(scale Scale) *Table {
 				if crit.c == prune.Saliency {
 					tr.ComputeGrad(train.X, nn.OneHot(train.Labels, cfg.Out))
 				}
-				prune.GlobalPrune(rand.New(rand.NewSource(11)), net, sp, crit.c)
+				if err := prune.GlobalPrune(rand.New(rand.NewSource(11)), net, sp, crit.c); err != nil {
+					panic(err) // sparsities are drawn from the in-range sweep above
+				}
 				tr.Fit(train.X, nn.OneHot(train.Labels, cfg.Out), nn.TrainConfig{Epochs: 3, BatchSize: 32})
 			}
 			t.AddRow(sp, crit.name, net.Accuracy(test.X, test.Labels), prune.NonzeroParamBytes(net))

@@ -282,11 +282,17 @@ func runE20(scale Scale) *Table {
 	})
 	t := &Table{ID: "E20", Title: "AE compression", Claim: "joint latent beats per-column coding on correlated data",
 		Columns: []string{"codec", "bytes", "bytes_per_value", "mse"}}
-	latent, aeBytes := ae.Compress(x, 12)
+	latent, aeBytes, err := ae.Compress(x, 12)
+	if err != nil {
+		panic(err) // 12 bits is in range by construction
+	}
 	aeMSE := explore.ReconstructionMSE(x, ae.Decompress(latent))
 	t.AddRow("autoencoder(2d latent,12b)", aeBytes, float64(aeBytes)/float64(x.Size()), aeMSE)
 	for _, bits := range []int{4, 6, 8, 12} {
-		b, mse := explore.ColumnQuantBaseline(x, bits)
+		b, mse, err := explore.ColumnQuantBaseline(x, bits)
+		if err != nil {
+			panic(err) // bit widths are drawn from the in-range sweep above
+		}
 		t.AddRow(fmt.Sprintf("column-quant+huffman(%db)", bits), b, float64(b)/float64(x.Size()), mse)
 	}
 	t.Shape = "autoencoder dominates the low-bit baselines (fewer bytes AND lower MSE than 4-6 bit columns)"

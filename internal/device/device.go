@@ -81,6 +81,16 @@ func (p Profile) SendTime(bytes int64) float64 {
 	return p.LinkLatencyS + float64(bytes)/p.LinkBandwidth
 }
 
+// ServeTime returns the seconds for one inference request executed locally
+// on the device: the model's weights stream through device memory once (the
+// weight-bound small-batch serving regime) plus the arithmetic at the given
+// efficiency. This is the per-request cost model the serving simulator
+// charges each replica — compressed variants are faster precisely because
+// fewer bytes stream per request.
+func (p Profile) ServeTime(modelBytes, flops int64, efficiency float64) float64 {
+	return p.MemTime(modelBytes) + p.ComputeTime(flops, efficiency)
+}
+
 // TransferTime returns the seconds to send bytes over the device's
 // interconnect, including per-message latency. Bandwidth is the minimum of
 // the two endpoints' link bandwidths.

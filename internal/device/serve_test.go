@@ -1,0 +1,28 @@
+package device
+
+import "testing"
+
+func TestServeTimeWeightBoundRegime(t *testing.T) {
+	// A small MLP served one example at a time is memory-bound: halving the
+	// streamed bytes should nearly halve the service time.
+	full := EdgeDevice.ServeTime(8000, 3000, 0.5)
+	quant := EdgeDevice.ServeTime(2000, 3000, 0.5)
+	if quant >= full {
+		t.Fatalf("smaller model not faster to serve: %g vs %g", quant, full)
+	}
+	if ratio := full / quant; ratio < 2 {
+		t.Fatalf("4x fewer bytes should cut weight-bound serve time >2x, got %.2fx", ratio)
+	}
+}
+
+func TestServeTimeIncludesCompute(t *testing.T) {
+	withCompute := CPUServer.ServeTime(1000, 1e9, 0.5)
+	memOnly := CPUServer.MemTime(1000)
+	if withCompute <= memOnly {
+		t.Fatal("serve time must include the arithmetic term")
+	}
+	want := memOnly + CPUServer.ComputeTime(1e9, 0.5)
+	if withCompute != want {
+		t.Fatalf("serve time %g != mem+compute %g", withCompute, want)
+	}
+}

@@ -75,12 +75,16 @@ func TrainAutoencoder(rng *rand.Rand, x *tensor.Tensor, cfg AEConfig) *Autoencod
 
 // Compress encodes rows, quantizes the latent at the given bit width, and
 // returns the quantized latent plus the storage bytes (packed codes plus
-// the decoder network, amortised over the rows).
-func (ae *Autoencoder) Compress(x *tensor.Tensor, bits int) (latent *quant.Linear, bytes int64) {
+// the decoder network, amortised over the rows). An out-of-range bit width
+// is reported as an error.
+func (ae *Autoencoder) Compress(x *tensor.Tensor, bits int) (latent *quant.Linear, bytes int64, err error) {
 	z := ae.enc.Forward(x, false)
-	latent = quant.QuantizeLinear(z, bits)
+	latent, err = quant.QuantizeLinear(z, bits)
+	if err != nil {
+		return nil, 0, err
+	}
 	bytes = latent.Bytes() + ae.dec.ParamBytes(32)
-	return latent, bytes
+	return latent, bytes, nil
 }
 
 // Decompress reconstructs rows from a quantized latent.
@@ -103,7 +107,7 @@ func ReconstructionMSE(orig, recon *tensor.Tensor) float64 {
 // quantization + Huffman coding, returning total bytes and the
 // reconstruction MSE — the classical baseline the autoencoder must beat on
 // correlated data.
-func ColumnQuantBaseline(x *tensor.Tensor, bits int) (bytes int64, mse float64) {
+func ColumnQuantBaseline(x *tensor.Tensor, bits int) (bytes int64, mse float64, err error) {
 	rows, cols := x.Dim(0), x.Dim(1)
 	var se float64
 	for c := 0; c < cols; c++ {
@@ -111,7 +115,10 @@ func ColumnQuantBaseline(x *tensor.Tensor, bits int) (bytes int64, mse float64) 
 		for r := 0; r < rows; r++ {
 			col.Data[r] = x.At(r, c)
 		}
-		q := quant.QuantizeLinear(col, bits)
+		q, err := quant.QuantizeLinear(col, bits)
+		if err != nil {
+			return 0, 0, err
+		}
 		bytes += quant.HuffmanBytes(q.Codes) + 16
 		back := q.Dequantize()
 		for r := 0; r < rows; r++ {
@@ -119,7 +126,7 @@ func ColumnQuantBaseline(x *tensor.Tensor, bits int) (bytes int64, mse float64) 
 			se += d * d
 		}
 	}
-	return bytes, se / float64(x.Size())
+	return bytes, se / float64(x.Size()), nil
 }
 
 // CorrelatedTable generates rows whose columns are all smooth functions of

@@ -121,14 +121,20 @@ func TestAutoencoderBeatsColumnQuantOnCorrelatedData(t *testing.T) {
 	ae := TrainAutoencoder(rng, x, AEConfig{
 		InDim: 8, Hidden: 24, LatentDim: 2, Epochs: 120, LR: 0.005, BatchSize: 64,
 	})
-	latent, aeBytes := ae.Compress(x, 12)
+	latent, aeBytes, err := ae.Compress(x, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	recon := ae.Decompress(latent)
 	aeMSE := ReconstructionMSE(x, recon)
 
 	// Find the column-quant bit width with comparable (or worse) error and
 	// compare bytes.
 	for _, bits := range []int{8, 10, 12} {
-		bBytes, bMSE := ColumnQuantBaseline(x, bits)
+		bBytes, bMSE, err := ColumnQuantBaseline(x, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Logf("AE: %d B @ MSE %.6f | colquant %d-bit: %d B @ MSE %.6f", aeBytes, aeMSE, bits, bBytes, bMSE)
 		if bMSE >= aeMSE && bBytes <= aeBytes {
 			t.Fatalf("baseline dominates AE at %d bits", bits)
@@ -136,7 +142,7 @@ func TestAutoencoderBeatsColumnQuantOnCorrelatedData(t *testing.T) {
 	}
 	// The AE must compress below the 12-bit baseline while keeping error in
 	// the same ballpark (within 4x of 8-bit baseline error).
-	b12Bytes, _ := ColumnQuantBaseline(x, 12)
+	b12Bytes, _, _ := ColumnQuantBaseline(x, 12)
 	if aeBytes >= b12Bytes {
 		t.Fatalf("AE bytes %d not below 12-bit column baseline %d", aeBytes, b12Bytes)
 	}
@@ -146,7 +152,10 @@ func TestAutoencoderRoundTripShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	x := CorrelatedTable(rng, 100, 4, 0.05)
 	ae := TrainAutoencoder(rng, x, AEConfig{InDim: 4, Hidden: 8, LatentDim: 2, Epochs: 10, LR: 0.01, BatchSize: 32})
-	latent, _ := ae.Compress(x, 8)
+	latent, _, err := ae.Compress(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	recon := ae.Decompress(latent)
 	if recon.Dim(0) != 100 || recon.Dim(1) != 4 {
 		t.Fatalf("reconstruction shape %v", recon.Shape())

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpDeterministicAndOrderIndependent(t *testing.T) {
+	inj := NewInjector(Config{Seed: 9})
+	a := inj.Exp(KindArrival, 0, 7, 0, 0.25)
+	// Querying other points must not perturb the draw.
+	inj.Exp(KindArrival, 0, 8, 0, 0.25)
+	inj.Exp(KindCrash, 3, 7, 1, 0.25)
+	b := inj.Exp(KindArrival, 0, 7, 0, 0.25)
+	if a != b {
+		t.Fatalf("Exp not deterministic: %g != %g", a, b)
+	}
+	if a <= 0 || math.IsInf(a, 0) || math.IsNaN(a) {
+		t.Fatalf("Exp draw %g not a positive finite variate", a)
+	}
+}
+
+func TestExpMeanMatchesParameter(t *testing.T) {
+	inj := NewInjector(Config{Seed: 10})
+	const n, mean = 20000, 0.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += inj.Exp(KindArrival, 0, i, 0, mean)
+	}
+	if got := sum / n; math.Abs(got-mean) > 0.02 {
+		t.Fatalf("empirical mean %g far from %g", got, mean)
+	}
+}
+
+func TestExpNilAndDegenerate(t *testing.T) {
+	var inj *Injector
+	if inj.Exp(KindArrival, 0, 0, 0, 1) != 0 {
+		t.Fatal("nil injector should draw 0")
+	}
+	if NewInjector(Config{Seed: 1}).Exp(KindArrival, 0, 0, 0, 0) != 0 {
+		t.Fatal("non-positive mean should draw 0")
+	}
+}
+
+func TestExpScalesWithMean(t *testing.T) {
+	inj := NewInjector(Config{Seed: 11})
+	small := inj.Exp(KindArrival, 2, 3, 0, 1)
+	large := inj.Exp(KindArrival, 2, 3, 0, 10)
+	if math.Abs(large-10*small) > 1e-12 {
+		t.Fatalf("same hash point should scale linearly with the mean: %g vs %g", large, 10*small)
+	}
+}

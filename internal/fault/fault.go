@@ -28,6 +28,7 @@ const (
 	KindDrop                     // message lost in flight (sender must retry)
 	KindCorrupt                  // payload bit-flipped in flight (CRC must catch it)
 	KindStage                    // pipeline stage failure (graceful degradation)
+	KindArrival                  // request inter-arrival draw (serving workloads)
 )
 
 // String names the kind for schedules and logs.
@@ -43,6 +44,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindStage:
 		return "stage-fail"
+	case KindArrival:
+		return "arrival"
 	}
 	return "unknown"
 }
@@ -158,6 +161,20 @@ func (i *Injector) Chance(kind Kind, worker, step, attempt int, p float64) bool 
 		return false
 	}
 	return i.unit(kind, worker, step, attempt) < p
+}
+
+// Exp maps (kind, worker, step, attempt) to a deterministic exponential
+// variate with the given mean, via inversion of the same hash stream Chance
+// uses. It is the arrival-process primitive for simulated serving
+// workloads: Poisson arrivals whose gaps cannot be perturbed by how many
+// other injector queries were made. A nil injector or non-positive mean
+// yields 0.
+func (i *Injector) Exp(kind Kind, worker, step, attempt int, mean float64) float64 {
+	if i == nil || mean <= 0 {
+		return 0
+	}
+	// 1-u is in (0,1], so the log never sees zero.
+	return -mean * math.Log(1-i.unit(kind, worker, step, attempt))
 }
 
 // Crashes reports whether the worker crashes at the given round.

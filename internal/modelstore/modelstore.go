@@ -90,10 +90,12 @@ func decodeRow(payload []byte, dst []float64) {
 
 // Put stores a [rows, features] activation tensor for (model, layer),
 // quantizing each row to 8 bits and deduplicating identical rows (within
-// and across entries). Re-putting the same key overwrites.
-func (s *Store) Put(model, layer string, acts *tensor.Tensor) {
+// and across entries). Re-putting the same key overwrites. Tensors that are
+// not rank 2 are a caller error, reported rather than panicking: activation
+// shapes depend on runtime model wiring, so the store validates its inputs.
+func (s *Store) Put(model, layer string, acts *tensor.Tensor) error {
 	if acts.Rank() != 2 {
-		panic("modelstore: activations must be rank 2")
+		return fmt.Errorf("modelstore: activations must be rank 2, got rank %d", acts.Rank())
 	}
 	rows, rowLen := acts.Dim(0), acts.Dim(1)
 	e := &entry{shape: acts.Shape(), rows: rows, rowLen: rowLen}
@@ -113,6 +115,7 @@ func (s *Store) Put(model, layer string, acts *tensor.Tensor) {
 	s.storedBytes += int64(rows) * 8 // refs
 	s.naiveBytes += int64(acts.Size()) * 8
 	s.entries[key(model, layer)] = e
+	return nil
 }
 
 func hashChunk(b []byte) uint64 {

@@ -203,7 +203,9 @@ func Run(spec Spec) (Ledger, error) {
 		// model exactly.
 		pre := checkpoint.TakeSnapshot(0, net)
 		err := runStage("prune", stagePrune, inj, spec.FaultRate, func() error {
-			prune.GlobalPrune(rng, net, spec.PruneSparsity, prune.Magnitude)
+			if err := prune.GlobalPrune(rng, net, spec.PruneSparsity, prune.Magnitude); err != nil {
+				return err
+			}
 			s := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs / 5, BatchSize: spec.BatchSize})
 			ledger.TrainFLOPs += s.FLOPs
 			return nil
@@ -250,7 +252,10 @@ func Run(spec Spec) (Ledger, error) {
 		var qnet *nn.Network
 		var qbytes int64
 		err := runStage("quantize", stageQuantize, inj, spec.FaultRate, func() error {
-			state, bytes := quant.QuantizeNetwork(deployed, spec.QuantizeBits)
+			state, bytes, err := quant.QuantizeNetwork(deployed, spec.QuantizeBits)
+			if err != nil {
+				return err
+			}
 			qnet = nn.NewMLP(rand.New(rand.NewSource(spec.Seed+2)), deployedCfg)
 			qnet.LoadStateDict(state)
 			qbytes = bytes

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"strings"
 	"testing"
+
+	"dlsys/internal/fault"
 )
 
 func TestRunDefaultsTrainOnly(t *testing.T) {
@@ -173,6 +175,63 @@ func TestFaultFreeRunHasNoDegradation(t *testing.T) {
 	}
 	if len(l.Degraded) != 0 {
 		t.Fatalf("zero fault rate degraded stages: %v", l.Degraded)
+	}
+}
+
+// When several optional stages fail in one run, the degradations must be
+// recorded in stage order, and the shipped model must be exactly the last
+// successful stage's output. The exact-equality comparison against a
+// distill-only pipeline is valid because fault injection happens before a
+// stage's body runs: failed stages consume no RNG.
+func TestPartialDegradationOrderAndFallbackModel(t *testing.T) {
+	// Find a fault seed where prune and quantize fail but distill
+	// succeeds — a pure-hash search, so the pick is deterministic.
+	const rate = 0.6
+	var faultSeed int64 = -1
+	for s := int64(1); s < 4096; s++ {
+		inj := fault.NewInjector(fault.Config{Seed: s})
+		if inj.Chance(fault.KindStage, 0, stagePrune, 0, rate) &&
+			!inj.Chance(fault.KindStage, 0, stageDistill, 0, rate) &&
+			inj.Chance(fault.KindStage, 0, stageQuantize, 0, rate) {
+			faultSeed = s
+			break
+		}
+	}
+	if faultSeed < 0 {
+		t.Fatal("no seed in [1,4096) fails prune+quantize while passing distill")
+	}
+
+	l, err := Run(Spec{
+		Seed: 10, PruneSparsity: 0.5, DistillWidth: 8, QuantizeBits: 8,
+		FaultRate: rate, FaultSeed: faultSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Degraded) != 2 ||
+		!strings.HasPrefix(l.Degraded[0], "prune:") ||
+		!strings.HasPrefix(l.Degraded[1], "quantize:") {
+		t.Fatalf("degraded %v, want [prune, quantize] in stage order", l.Degraded)
+	}
+	wantStages := []string{"train", "prune(failed→fallback)", "distill", "quantize(failed→fallback)"}
+	if len(l.Stages) != len(wantStages) {
+		t.Fatalf("stages %v", l.Stages)
+	}
+	for i, w := range wantStages {
+		if !strings.HasPrefix(l.Stages[i], w) {
+			t.Fatalf("stage %d = %q, want %s*", i, l.Stages[i], w)
+		}
+	}
+
+	ref, err := Run(Spec{Seed: 10, DistillWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Accuracy != ref.Accuracy {
+		t.Fatalf("degraded accuracy %.6f != distill-only %.6f", l.Accuracy, ref.Accuracy)
+	}
+	if l.ModelBytes != ref.ModelBytes {
+		t.Fatalf("degraded size %dB != distill-only %dB", l.ModelBytes, ref.ModelBytes)
 	}
 }
 

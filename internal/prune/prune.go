@@ -7,6 +7,7 @@
 package prune
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -61,10 +62,12 @@ func Sparsity(net *nn.Network) float64 {
 // magnitudes are not comparable across layers with different fan-in scales,
 // and cross-layer ranking tends to wipe out whole layers — the standard
 // remedy is a per-layer budget. Masks are rebuilt from scratch, so the
-// target sparsity is absolute, not incremental.
-func GlobalPrune(rng *rand.Rand, net *nn.Network, sparsity float64, crit Criterion) {
+// target sparsity is absolute, not incremental. Sparsities outside [0, 1)
+// are a caller error, reported rather than panicking: targets usually come
+// from sweep configs, so the library boundary validates them.
+func GlobalPrune(rng *rand.Rand, net *nn.Network, sparsity float64, crit Criterion) error {
 	if sparsity < 0 || sparsity >= 1 {
-		panic("prune: sparsity must be in [0, 1)")
+		return fmt.Errorf("prune: sparsity %g out of [0, 1)", sparsity)
 	}
 	for _, l := range net.Layers {
 		d, ok := l.(*nn.Dense)
@@ -94,6 +97,7 @@ func GlobalPrune(rng *rand.Rand, net *nn.Network, sparsity float64, crit Criteri
 		}
 		d.SetMask(mask)
 	}
+	return nil
 }
 
 // PruneUnits performs structured pruning: it removes (masks entire columns
@@ -142,19 +146,22 @@ type IterativeConfig struct {
 // IterativePrune runs the Han-et-al. schedule: repeatedly prune a slice of
 // the remaining weights and fine-tune, reaching TargetSparsity after Steps
 // rounds. Sparsity follows a cubic ramp, which prunes gently at first.
-// Returns the per-round sparsity and training loss.
-func IterativePrune(rng *rand.Rand, tr *nn.Trainer, x, y *tensor.Tensor, cfg IterativeConfig) (sparsities, losses []float64) {
+// Returns the per-round sparsity and training loss, or an error if the
+// target sparsity is outside [0, 1).
+func IterativePrune(rng *rand.Rand, tr *nn.Trainer, x, y *tensor.Tensor, cfg IterativeConfig) (sparsities, losses []float64, err error) {
 	for step := 1; step <= cfg.Steps; step++ {
 		frac := cfg.TargetSparsity * (1 - math.Pow(1-float64(step)/float64(cfg.Steps), 3))
 		if cfg.Criterion == Saliency {
 			tr.ComputeGrad(x, y)
 		}
-		GlobalPrune(rng, tr.Net, frac, cfg.Criterion)
+		if err := GlobalPrune(rng, tr.Net, frac, cfg.Criterion); err != nil {
+			return nil, nil, err
+		}
 		stats := tr.Fit(x, y, nn.TrainConfig{Epochs: cfg.RetrainEpochs, BatchSize: cfg.BatchSize})
 		sparsities = append(sparsities, Sparsity(tr.Net))
 		losses = append(losses, stats.FinalLoss())
 	}
-	return sparsities, losses
+	return sparsities, losses, nil
 }
 
 // NonzeroParamBytes returns the storage for a pruned network in a sparse

@@ -20,9 +20,18 @@ func trainedNet(t *testing.T, seed int64) (*nn.Trainer, *data.Dataset, *data.Dat
 	return tr, train, test
 }
 
+// mustPrune unwraps GlobalPrune's error for the in-range sparsities these
+// tests use.
+func mustPrune(t *testing.T, rng *rand.Rand, net *nn.Network, sparsity float64, crit Criterion) {
+	t.Helper()
+	if err := GlobalPrune(rng, net, sparsity, crit); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGlobalPruneReachesSparsity(t *testing.T) {
 	tr, _, _ := trainedNet(t, 1)
-	GlobalPrune(rand.New(rand.NewSource(2)), tr.Net, 0.7, Magnitude)
+	mustPrune(t, rand.New(rand.NewSource(2)), tr.Net, 0.7, Magnitude)
 	if s := Sparsity(tr.Net); math.Abs(s-0.7) > 0.02 {
 		t.Fatalf("sparsity %.3f, want ~0.7", s)
 	}
@@ -30,7 +39,7 @@ func TestGlobalPruneReachesSparsity(t *testing.T) {
 
 func TestGlobalPruneZeroesWeights(t *testing.T) {
 	tr, _, _ := trainedNet(t, 3)
-	GlobalPrune(rand.New(rand.NewSource(4)), tr.Net, 0.5, Magnitude)
+	mustPrune(t, rand.New(rand.NewSource(4)), tr.Net, 0.5, Magnitude)
 	for _, l := range tr.Net.Layers {
 		d, ok := l.(*nn.Dense)
 		if !ok {
@@ -50,7 +59,7 @@ func TestGlobalPruneZeroesWeights(t *testing.T) {
 
 func TestPrunedWeightsStayZeroThroughTraining(t *testing.T) {
 	tr, train, _ := trainedNet(t, 5)
-	GlobalPrune(rand.New(rand.NewSource(6)), tr.Net, 0.6, Magnitude)
+	mustPrune(t, rand.New(rand.NewSource(6)), tr.Net, 0.6, Magnitude)
 	tr.Fit(train.X, nn.OneHot(train.Labels, 3), nn.TrainConfig{Epochs: 5, BatchSize: 32})
 	for _, l := range tr.Net.Layers {
 		d, ok := l.(*nn.Dense)
@@ -72,7 +81,7 @@ func TestPrunedWeightsStayZeroThroughTraining(t *testing.T) {
 func TestModeratePruningPreservesAccuracy(t *testing.T) {
 	tr, train, test := trainedNet(t, 7)
 	base := tr.Net.Accuracy(test.X, test.Labels)
-	GlobalPrune(rand.New(rand.NewSource(8)), tr.Net, 0.5, Magnitude)
+	mustPrune(t, rand.New(rand.NewSource(8)), tr.Net, 0.5, Magnitude)
 	// Brief fine-tune, as the technique prescribes.
 	tr.Fit(train.X, nn.OneHot(train.Labels, 3), nn.TrainConfig{Epochs: 5, BatchSize: 32})
 	pruned := tr.Net.Accuracy(test.X, test.Labels)
@@ -84,7 +93,7 @@ func TestModeratePruningPreservesAccuracy(t *testing.T) {
 func TestMagnitudeBeatsRandomAtHighSparsity(t *testing.T) {
 	accAfter := func(crit Criterion, seed int64) float64 {
 		tr, _, test := trainedNet(t, 11)
-		GlobalPrune(rand.New(rand.NewSource(seed)), tr.Net, 0.7, crit)
+		mustPrune(t, rand.New(rand.NewSource(seed)), tr.Net, 0.7, crit)
 		// No fine-tune: measure the immediate damage.
 		return tr.Net.Accuracy(test.X, test.Labels)
 	}
@@ -98,7 +107,7 @@ func TestMagnitudeBeatsRandomAtHighSparsity(t *testing.T) {
 func TestSaliencyPruning(t *testing.T) {
 	tr, train, test := trainedNet(t, 13)
 	tr.ComputeGrad(train.X, nn.OneHot(train.Labels, 3))
-	GlobalPrune(rand.New(rand.NewSource(14)), tr.Net, 0.7, Saliency)
+	mustPrune(t, rand.New(rand.NewSource(14)), tr.Net, 0.7, Saliency)
 	if s := Sparsity(tr.Net); math.Abs(s-0.7) > 0.02 {
 		t.Fatalf("saliency sparsity %.3f", s)
 	}
@@ -133,9 +142,12 @@ func TestPruneUnitsStructured(t *testing.T) {
 
 func TestIterativePruneRampsToTarget(t *testing.T) {
 	tr, train, test := trainedNet(t, 17)
-	sparsities, losses := IterativePrune(rand.New(rand.NewSource(18)), tr, train.X, nn.OneHot(train.Labels, 3), IterativeConfig{
+	sparsities, losses, err := IterativePrune(rand.New(rand.NewSource(18)), tr, train.X, nn.OneHot(train.Labels, 3), IterativeConfig{
 		TargetSparsity: 0.8, Steps: 4, RetrainEpochs: 4, BatchSize: 32, Criterion: Magnitude,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sparsities) != 4 || len(losses) != 4 {
 		t.Fatal("wrong round count")
 	}
@@ -155,19 +167,27 @@ func TestIterativePruneRampsToTarget(t *testing.T) {
 func TestNonzeroParamBytesShrinks(t *testing.T) {
 	tr, _, _ := trainedNet(t, 19)
 	before := NonzeroParamBytes(tr.Net)
-	GlobalPrune(rand.New(rand.NewSource(20)), tr.Net, 0.9, Magnitude)
+	mustPrune(t, rand.New(rand.NewSource(20)), tr.Net, 0.9, Magnitude)
 	after := NonzeroParamBytes(tr.Net)
 	if after >= before/2 {
 		t.Fatalf("sparse bytes %d not much below dense %d", after, before)
 	}
 }
 
-func TestGlobalPruneBadSparsityPanics(t *testing.T) {
+func TestGlobalPruneBadSparsityErrors(t *testing.T) {
 	tr, _, _ := trainedNet(t, 21)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, sp := range []float64{1.0, 1.5, -0.1} {
+		if err := GlobalPrune(rand.New(rand.NewSource(1)), tr.Net, sp, Magnitude); err == nil {
+			t.Fatalf("sparsity %g accepted", sp)
 		}
-	}()
-	GlobalPrune(rand.New(rand.NewSource(1)), tr.Net, 1.0, Magnitude)
+	}
+	// And the iterative schedule surfaces the same error rather than
+	// panicking mid-run.
+	tr2, train, _ := trainedNet(t, 22)
+	_, _, err := IterativePrune(rand.New(rand.NewSource(2)), tr2, train.X, nn.OneHot(train.Labels, 3), IterativeConfig{
+		TargetSparsity: 1.2, Steps: 2, RetrainEpochs: 1, BatchSize: 32, Criterion: Magnitude,
+	})
+	if err == nil {
+		t.Fatal("IterativePrune accepted target sparsity 1.2")
+	}
 }

@@ -26,7 +26,10 @@ type IntMLP struct {
 }
 
 // CompileIntMLP lowers a float MLP to the integer inference path. Only
-// Dense and ReLU layers are supported; anything else panics.
+// Dense and ReLU layers are supported; anything else panics. The panic is
+// deliberate (constructor-style misuse): the layer set is fixed at build
+// time by the programmer, never by runtime data, so an unsupported layer is
+// a programming error rather than an input to validate.
 func CompileIntMLP(net *nn.Network) *IntMLP {
 	m := &IntMLP{}
 	for _, l := range net.Layers {

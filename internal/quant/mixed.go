@@ -30,17 +30,23 @@ func (a MixedAssignment) Bytes(net *nn.Network) int64 {
 }
 
 // ApplyMixed returns a state dict with each parameter quantize-dequantized
-// at its assigned width.
-func ApplyMixed(net *nn.Network, a MixedAssignment) map[string][]float64 {
+// at its assigned width. Widths of 32 and above mean "keep full precision";
+// anything else must be a valid quantization width or the assignment is
+// rejected.
+func ApplyMixed(net *nn.Network, a MixedAssignment) (map[string][]float64, error) {
 	state := net.StateDict()
 	for _, p := range net.Params() {
 		bits, ok := a[p.Name]
 		if !ok || bits >= 32 {
 			continue
 		}
-		state[p.Name] = QuantizeLinear(p.Value, bits).Dequantize().Data
+		q, err := QuantizeLinear(p.Value, bits)
+		if err != nil {
+			return nil, fmt.Errorf("quant: assignment for %s: %w", p.Name, err)
+		}
+		state[p.Name] = q.Dequantize().Data
 	}
-	return state
+	return state, nil
 }
 
 // UniformAssignment gives every parameter the same width.
@@ -55,17 +61,21 @@ func UniformAssignment(net *nn.Network, bits int) MixedAssignment {
 // LayerSensitivity measures, per parameter tensor, the loss increase caused
 // by quantizing ONLY that tensor to the probe width — the signal that
 // drives the mixed-precision search. Lower sensitivity = safe to squeeze.
-func LayerSensitivity(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, probeBits int) map[string]float64 {
+// An invalid probe width is reported before any parameter is touched.
+func LayerSensitivity(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, probeBits int) (map[string]float64, error) {
 	base := evalLoss(net, loss, x, y)
 	out := map[string]float64{}
 	for _, p := range net.Params() {
 		orig := append([]float64(nil), p.Value.Data...)
-		q := QuantizeLinear(p.Value, probeBits)
+		q, err := QuantizeLinear(p.Value, probeBits)
+		if err != nil {
+			return nil, err
+		}
 		copy(p.Value.Data, q.Dequantize().Data)
 		out[p.Name] = evalLoss(net, loss, x, y) - base
 		copy(p.Value.Data, orig)
 	}
-	return out
+	return out, nil
 }
 
 func evalLoss(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor) float64 {
@@ -75,15 +85,19 @@ func evalLoss(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor) float64 {
 // MixedPrecisionSearch greedily assigns bit widths under a byte budget:
 // starting from every tensor at the highest candidate width, it repeatedly
 // drops the LEAST sensitive remaining tensor one step down the candidate
-// ladder until the budget is met. Returns the assignment and whether the
-// budget was achievable.
-func MixedPrecisionSearch(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, budget int64, candidates []int) (MixedAssignment, bool) {
+// ladder until the budget is met. Returns the assignment, whether the
+// budget was achievable, and an error for malformed inputs (fewer than two
+// candidate widths, or a candidate outside the quantizable range).
+func MixedPrecisionSearch(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, budget int64, candidates []int) (MixedAssignment, bool, error) {
 	if len(candidates) < 2 {
-		panic("quant: need at least two candidate widths")
+		return nil, false, fmt.Errorf("quant: need at least two candidate widths, got %d", len(candidates))
 	}
 	sorted := append([]int(nil), candidates...)
 	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
-	sens := LayerSensitivity(net, loss, x, y, sorted[len(sorted)-1])
+	sens, err := LayerSensitivity(net, loss, x, y, sorted[len(sorted)-1])
+	if err != nil {
+		return nil, false, err
+	}
 
 	a := UniformAssignment(net, sorted[0])
 	level := map[string]int{} // index into sorted per param
@@ -112,12 +126,12 @@ func MixedPrecisionSearch(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, bu
 			}
 		}
 		if bestName == "" {
-			return a, false // everything already at the floor
+			return a, false, nil // everything already at the floor
 		}
 		level[bestName]++
 		a[bestName] = sorted[level[bestName]]
 	}
-	return a, true
+	return a, true, nil
 }
 
 // MixedVsUniform runs the standard comparison: accuracy of the searched
@@ -125,12 +139,19 @@ func MixedPrecisionSearch(net *nn.Network, loss nn.Loss, x, y *tensor.Tensor, bu
 // budget. Returns (mixedAcc, uniformAcc, mixedBytes, uniformBytes).
 func MixedVsUniform(rng *rand.Rand, net *nn.Network, cfg nn.MLPConfig, loss nn.Loss,
 	calibX, calibY, testX *tensor.Tensor, testLabels []int, budget int64, candidates []int) (float64, float64, int64, int64, error) {
-	mixed, ok := MixedPrecisionSearch(net, loss, calibX, calibY, budget, candidates)
+	mixed, ok, err := MixedPrecisionSearch(net, loss, calibX, calibY, budget, candidates)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
 	if !ok {
 		return 0, 0, 0, 0, fmt.Errorf("quant: budget %d unreachable", budget)
 	}
+	mstate, err := ApplyMixed(net, mixed)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
 	mnet := nn.NewMLP(rng, cfg)
-	mnet.LoadStateDict(ApplyMixed(net, mixed))
+	mnet.LoadStateDict(mstate)
 	mixedAcc := mnet.Accuracy(testX, testLabels)
 
 	// Best uniform width that fits the budget.
@@ -144,7 +165,11 @@ func MixedVsUniform(rng *rand.Rand, net *nn.Network, cfg nn.MLPConfig, loss nn.L
 		return 0, 0, 0, 0, fmt.Errorf("quant: no uniform width fits budget %d", budget)
 	}
 	uni := UniformAssignment(net, uniBits)
+	ustate, err := ApplyMixed(net, uni)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
 	unet := nn.NewMLP(rng, cfg)
-	unet.LoadStateDict(ApplyMixed(net, uni))
+	unet.LoadStateDict(ustate)
 	return mixedAcc, unet.Accuracy(testX, testLabels), mixed.Bytes(net), uni.Bytes(net), nil
 }

@@ -27,7 +27,10 @@ func TestLayerSensitivityNonNegativeAtHighBits(t *testing.T) {
 	net, train, _, _ := trainSmallMLP(t)
 	loss := nn.NewSoftmaxCrossEntropy()
 	y := nn.OneHot(train.Labels, 3)
-	sens := LayerSensitivity(net, loss, train.X, y, 2)
+	sens, err := LayerSensitivity(net, loss, train.X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sens) != len(net.Params()) {
 		t.Fatalf("sensitivity entries %d != params %d", len(sens), len(net.Params()))
 	}
@@ -59,7 +62,10 @@ func TestMixedSearchRespectsBudget(t *testing.T) {
 	candidates := []int{8, 4, 2}
 	full := UniformAssignment(net, 8).Bytes(net)
 	budget := full * 6 / 10
-	a, ok := MixedPrecisionSearch(net, loss, train.X, y, budget, candidates)
+	a, ok, err := MixedPrecisionSearch(net, loss, train.X, y, budget, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("search failed")
 	}
@@ -84,8 +90,15 @@ func TestMixedSearchUnreachableBudget(t *testing.T) {
 	net, train, _, _ := trainSmallMLP(t)
 	loss := nn.NewSoftmaxCrossEntropy()
 	y := nn.OneHot(train.Labels, 3)
-	if _, ok := MixedPrecisionSearch(net, loss, train.X, y, 10, []int{8, 2}); ok {
-		t.Fatal("10-byte budget should be unreachable")
+	if _, ok, err := MixedPrecisionSearch(net, loss, train.X, y, 10, []int{8, 2}); err != nil || ok {
+		t.Fatalf("10-byte budget should be unreachable (ok=%v err=%v)", ok, err)
+	}
+	// Malformed candidate ladders are errors, not panics.
+	if _, _, err := MixedPrecisionSearch(net, loss, train.X, y, 10, []int{8}); err == nil {
+		t.Fatal("single candidate width accepted")
+	}
+	if _, _, err := MixedPrecisionSearch(net, loss, train.X, y, 10, []int{8, 0}); err == nil {
+		t.Fatal("zero-bit candidate accepted")
 	}
 }
 

@@ -25,11 +25,14 @@ type Linear struct {
 	Shape []int
 }
 
-// QuantizeLinear quantizes t to the given bit width (1..16). The maximum
-// absolute reconstruction error is Scale/2 (half a quantization step).
-func QuantizeLinear(t *tensor.Tensor, bits int) *Linear {
+// QuantizeLinear quantizes t to the given bit width. The maximum absolute
+// reconstruction error is Scale/2 (half a quantization step). Bit widths
+// outside [1,16] are a caller error, reported rather than panicking: widths
+// often arrive from config files and experiment sweeps, so the library
+// boundary validates them.
+func QuantizeLinear(t *tensor.Tensor, bits int) (*Linear, error) {
 	if bits < 1 || bits > 16 {
-		panic(fmt.Sprintf("quant: bits %d out of [1,16]", bits))
+		return nil, fmt.Errorf("quant: bits %d out of [1,16]", bits)
 	}
 	lo, hi := t.Min(), t.Max()
 	levels := float64(uint32(1)<<bits - 1)
@@ -54,7 +57,7 @@ func QuantizeLinear(t *tensor.Tensor, bits int) *Linear {
 		}
 		q.Codes[i] = uint16(c)
 	}
-	return q
+	return q, nil
 }
 
 // Dequantize reconstructs the tensor.
@@ -86,11 +89,11 @@ type Codebook struct {
 }
 
 // QuantizeKMeans learns a k-entry codebook over t's values with Lloyd's
-// algorithm and assigns each value to its nearest center. k must be in
-// [2, 65536].
-func QuantizeKMeans(rng *rand.Rand, t *tensor.Tensor, k, iters int) *Codebook {
+// algorithm and assigns each value to its nearest center. A codebook size
+// outside [2, 65536] is reported as an error.
+func QuantizeKMeans(rng *rand.Rand, t *tensor.Tensor, k, iters int) (*Codebook, error) {
 	if k < 2 || k > 65536 {
-		panic(fmt.Sprintf("quant: k %d out of [2,65536]", k))
+		return nil, fmt.Errorf("quant: k %d out of [2,65536]", k)
 	}
 	if t.Size() < k {
 		k = t.Size()
@@ -142,7 +145,7 @@ func QuantizeKMeans(rng *rand.Rand, t *tensor.Tensor, k, iters int) *Codebook {
 	for (1 << bits) < k {
 		bits++
 	}
-	return &Codebook{Codes: codes, Centers: centers, Shape: append([]int(nil), t.Shape()...), CodeBits: bits}
+	return &Codebook{Codes: codes, Centers: centers, Shape: append([]int(nil), t.Shape()...), CodeBits: bits}, nil
 }
 
 func nearestCenter(centers []float64, v float64) int {
@@ -186,25 +189,32 @@ func (q *Codebook) Bytes() int64 {
 // QuantizeNetwork returns a copy of the network's weights after a
 // quantize-dequantize round trip at the given bit width ("simulated
 // quantization"), leaving net untouched, plus the quantized storage size.
-// Callers apply the returned state dict to a clone to measure accuracy.
-func QuantizeNetwork(net *nn.Network, bits int) (state map[string][]float64, bytes int64) {
+// Callers apply the returned state dict to a clone to measure accuracy. An
+// out-of-range bit width is reported as an error before any work is done.
+func QuantizeNetwork(net *nn.Network, bits int) (state map[string][]float64, bytes int64, err error) {
 	state = net.StateDict()
 	for _, p := range net.Params() {
-		q := QuantizeLinear(p.Value, bits)
+		q, err := QuantizeLinear(p.Value, bits)
+		if err != nil {
+			return nil, 0, err
+		}
 		bytes += q.Bytes()
 		state[p.Name] = q.Dequantize().Data
 	}
-	return state, bytes
+	return state, bytes, nil
 }
 
 // QuantizeNetworkKMeans is QuantizeNetwork with a k-means codebook per
 // parameter tensor.
-func QuantizeNetworkKMeans(rng *rand.Rand, net *nn.Network, k, iters int) (state map[string][]float64, bytes int64) {
+func QuantizeNetworkKMeans(rng *rand.Rand, net *nn.Network, k, iters int) (state map[string][]float64, bytes int64, err error) {
 	state = net.StateDict()
 	for _, p := range net.Params() {
-		q := QuantizeKMeans(rng, p.Value, k, iters)
+		q, err := QuantizeKMeans(rng, p.Value, k, iters)
+		if err != nil {
+			return nil, 0, err
+		}
 		bytes += q.Bytes()
 		state[p.Name] = q.Dequantize().Data
 	}
-	return state, bytes
+	return state, bytes, nil
 }

@@ -11,11 +11,31 @@ import (
 	"dlsys/internal/tensor"
 )
 
+// mustLinear and mustKMeans unwrap the error returns for the in-range
+// widths these tests use.
+func mustLinear(t *testing.T, x *tensor.Tensor, bits int) *Linear {
+	t.Helper()
+	q, err := QuantizeLinear(x, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustKMeans(t *testing.T, rng *rand.Rand, x *tensor.Tensor, k, iters int) *Codebook {
+	t.Helper()
+	q, err := QuantizeKMeans(rng, x, k, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func TestQuantizeLinearErrorBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.RandNormal(rng, 0, 2, 50, 20)
 	for _, bits := range []int{1, 2, 4, 8, 16} {
-		q := QuantizeLinear(x, bits)
+		q := mustLinear(t, x, bits)
 		back := q.Dequantize()
 		bound := q.MaxError() + 1e-12
 		for i := range x.Data {
@@ -31,7 +51,7 @@ func TestQuantizeLinearMonotoneErrorInBits(t *testing.T) {
 	x := tensor.RandNormal(rng, 0, 1, 100, 10)
 	prev := math.Inf(1)
 	for _, bits := range []int{1, 2, 4, 8} {
-		q := QuantizeLinear(x, bits)
+		q := mustLinear(t, x, bits)
 		back := q.Dequantize()
 		var mse float64
 		for i := range x.Data {
@@ -47,7 +67,7 @@ func TestQuantizeLinearMonotoneErrorInBits(t *testing.T) {
 
 func TestQuantizeLinearConstantTensor(t *testing.T) {
 	x := tensor.Full(3.14, 4, 4)
-	q := QuantizeLinear(x, 8)
+	q := mustLinear(t, x, 8)
 	back := q.Dequantize()
 	if !tensor.Equal(x, back, 1e-12) {
 		t.Fatal("constant tensor should reconstruct exactly")
@@ -56,9 +76,9 @@ func TestQuantizeLinearConstantTensor(t *testing.T) {
 
 func TestQuantizeLinearBytesScaleWithBits(t *testing.T) {
 	x := tensor.New(1000)
-	b8 := QuantizeLinear(x, 8).Bytes()
-	b4 := QuantizeLinear(x, 4).Bytes()
-	b1 := QuantizeLinear(x, 1).Bytes()
+	b8 := mustLinear(t, x, 8).Bytes()
+	b4 := mustLinear(t, x, 4).Bytes()
+	b1 := mustLinear(t, x, 1).Bytes()
 	if b8 != 1016 || b4 != 516 || b1 != 141 {
 		t.Fatalf("bytes: b8=%d b4=%d b1=%d", b8, b4, b1)
 	}
@@ -76,7 +96,10 @@ func TestQuantizeLinearPropertyQuick(t *testing.T) {
 		}
 		bits := int(bitsRaw%16) + 1
 		x := tensor.FromSlice(append([]float64(nil), vals...), len(vals))
-		q := QuantizeLinear(x, bits)
+		q, err := QuantizeLinear(x, bits)
+		if err != nil {
+			return false
+		}
 		back := q.Dequantize()
 		bound := q.MaxError() * (1 + 1e-9)
 		for i := range vals {
@@ -103,8 +126,8 @@ func TestKMeansCodebookBeatsLinearAtSameBudget(t *testing.T) {
 			x.Data[i] = 5 + 0.1*rng.NormFloat64()
 		}
 	}
-	lin := QuantizeLinear(x, 1) // 2 levels
-	km := QuantizeKMeans(rng, x, 2, 20)
+	lin := mustLinear(t, x, 1) // 2 levels
+	km := mustKMeans(t, rng, x, 2, 20)
 	mse := func(back *tensor.Tensor) float64 {
 		var s float64
 		for i := range x.Data {
@@ -123,7 +146,7 @@ func TestKMeansMoreCentersLowerError(t *testing.T) {
 	x := tensor.RandNormal(rng, 0, 1, 1500)
 	var prev float64 = math.Inf(1)
 	for _, k := range []int{2, 4, 16, 64} {
-		km := QuantizeKMeans(rng, x, k, 15)
+		km := mustKMeans(t, rng, x, k, 15)
 		back := km.Dequantize()
 		var mse float64
 		for i := range x.Data {
@@ -213,7 +236,10 @@ func trainSmallMLP(t *testing.T) (*nn.Network, *data.Dataset, *data.Dataset, nn.
 func TestQuantizeNetworkPreservesAccuracyAt8Bits(t *testing.T) {
 	net, _, test, cfg := trainSmallMLP(t)
 	base := net.Accuracy(test.X, test.Labels)
-	state, bytes := QuantizeNetwork(net, 8)
+	state, bytes, err := QuantizeNetwork(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	qnet := nn.NewMLP(rand.New(rand.NewSource(1)), cfg)
 	qnet.LoadStateDict(state)
 	qacc := qnet.Accuracy(test.X, test.Labels)
@@ -251,5 +277,27 @@ func TestIntMLPForwardCloseToFloat(t *testing.T) {
 		if math.Abs(fo.Data[i]-io.Data[i]) > 0.05*scale+1e-6 {
 			t.Fatalf("int path diverges at %d: %g vs %g", i, io.Data[i], fo.Data[i])
 		}
+	}
+}
+
+func TestQuantizeBadRangesReturnErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := tensor.RandNormal(rng, 0, 1, 4, 4)
+	for _, bits := range []int{0, -1, 17, 32} {
+		if _, err := QuantizeLinear(x, bits); err == nil {
+			t.Fatalf("bits=%d accepted", bits)
+		}
+	}
+	for _, k := range []int{0, 1, 65537} {
+		if _, err := QuantizeKMeans(rng, x, k, 5); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+	net := nn.NewMLP(rng, nn.MLPConfig{In: 3, Hidden: []int{4}, Out: 2})
+	if _, _, err := QuantizeNetwork(net, 0); err == nil {
+		t.Fatal("QuantizeNetwork accepted bits=0")
+	}
+	if _, _, err := QuantizeNetworkKMeans(rng, net, 1, 5); err == nil {
+		t.Fatal("QuantizeNetworkKMeans accepted k=1")
 	}
 }

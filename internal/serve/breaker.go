@@ -1,0 +1,192 @@
+// Package serve is a deterministic, simulated-time model-serving layer:
+// a Server fronts a fleet of replica workers, each hosting one model
+// variant (full precision or a compressed tier) on a device cost model,
+// and routes requests through admission control, retries with hedging,
+// per-replica circuit breakers, and graceful degradation to cheaper
+// tiers. All randomness — arrivals and injected replica faults — comes
+// from the order-independent hash streams of internal/fault, so the same
+// seed always reproduces the same request ledger, bit for bit.
+package serve
+
+import "fmt"
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+// Breaker states.
+const (
+	// Closed passes traffic and watches the failure rate.
+	Closed BreakerState = iota
+	// Open rejects traffic until a cooldown elapses.
+	Open
+	// HalfOpen admits a few probe requests; success re-closes, failure
+	// re-opens.
+	HalfOpen
+)
+
+// String names the state for logs and tables.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one replica's circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding window of recent request outcomes consulted
+	// for the failure rate (default 16).
+	Window int
+	// MinSamples is how many outcomes the window must hold before the
+	// breaker may trip (default Window/2), so one early failure cannot
+	// open it.
+	MinSamples int
+	// FailureRate is the windowed failure fraction at or above which the
+	// breaker opens (default 0.5).
+	FailureRate float64
+	// CooldownS is how long (simulated seconds) the breaker stays open
+	// before admitting probes. Must be positive.
+	CooldownS float64
+	// HalfOpenProbes is how many consecutive probe successes re-close the
+	// breaker (default 2).
+	HalfOpenProbes int
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+}
+
+func (c BreakerConfig) validate() error {
+	if c.CooldownS <= 0 {
+		return fmt.Errorf("serve: breaker CooldownS must be positive, got %g", c.CooldownS)
+	}
+	if c.FailureRate > 1 {
+		return fmt.Errorf("serve: breaker FailureRate %g out of (0,1]", c.FailureRate)
+	}
+	if c.MinSamples > c.Window {
+		return fmt.Errorf("serve: breaker MinSamples %d exceeds Window %d", c.MinSamples, c.Window)
+	}
+	return nil
+}
+
+// Breaker guards one replica. It is driven entirely by simulated
+// timestamps passed in by the caller, so it is as deterministic as the
+// event stream feeding it.
+type Breaker struct {
+	cfg BreakerConfig
+
+	state    BreakerState
+	openedAt float64 // when the breaker last opened
+
+	window []bool // ring of outcomes, true = failure
+	head   int
+	filled int
+
+	probeOK int // consecutive probe successes while half-open
+
+	opened   int // Closed/HalfOpen -> Open transitions
+	reclosed int // HalfOpen -> Closed transitions
+}
+
+// NewBreaker builds a breaker; zero-valued config fields take defaults.
+// CooldownS must be set (validated by the Server's config).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// State reports the current automaton state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Opened counts how many times the breaker has tripped open.
+func (b *Breaker) Opened() int { return b.opened }
+
+// Reclosed counts how many times it has recovered to closed.
+func (b *Breaker) Reclosed() int { return b.reclosed }
+
+// Allow reports whether a request may be sent to the replica at the given
+// simulated time. An open breaker whose cooldown has elapsed transitions
+// to half-open and admits the probe.
+func (b *Breaker) Allow(now float64) bool {
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now >= b.openedAt+b.cfg.CooldownS {
+			b.state = HalfOpen
+			b.probeOK = 0
+			return true
+		}
+		return false
+	case HalfOpen:
+		return true
+	}
+	return false
+}
+
+// Record feeds one request outcome (observed at simulated time now) into
+// the breaker.
+func (b *Breaker) Record(now float64, ok bool) {
+	switch b.state {
+	case HalfOpen:
+		if !ok {
+			b.trip(now)
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.reclosed++
+			b.resetWindow()
+		}
+	case Closed:
+		b.window[b.head] = !ok
+		b.head = (b.head + 1) % len(b.window)
+		if b.filled < len(b.window) {
+			b.filled++
+		}
+		if b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureRate {
+			b.trip(now)
+		}
+	case Open:
+		// A late completion from before the trip; the window restarts
+		// from scratch on re-close, so drop it.
+	}
+}
+
+func (b *Breaker) trip(now float64) {
+	b.state = Open
+	b.openedAt = now
+	b.opened++
+	b.resetWindow()
+}
+
+func (b *Breaker) resetWindow() {
+	b.head, b.filled = 0, 0
+}
+
+func (b *Breaker) failureRate() float64 {
+	fails := 0
+	for i := 0; i < b.filled; i++ {
+		if b.window[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(b.filled)
+}

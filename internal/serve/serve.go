@@ -1,0 +1,548 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"dlsys/internal/device"
+	"dlsys/internal/fault"
+	"dlsys/internal/tensor"
+)
+
+// Replica is one serving worker: a model variant hosted on a device cost
+// model. Its per-request service time is the device's ServeTime for the
+// variant's streamed bytes and FLOPs.
+type Replica struct {
+	Variant    Variant
+	Device     device.Profile
+	Efficiency float64 // fraction of peak compute achieved, (0, 1]
+}
+
+// ServiceS is the fault-free per-request service time of the replica.
+func (r Replica) ServiceS() float64 {
+	return r.Device.ServeTime(r.Variant.Bytes, r.Variant.FLOPs, r.Efficiency)
+}
+
+// Config declares one serving run. Durations are simulated seconds; the
+// zero value of every tunable takes a default derived from the fleet's
+// fastest full-tier service time, so one knob (ArrivalRate) scales load.
+type Config struct {
+	Seed     int64
+	Faults   fault.Config // replica-level fault injection (crash/straggle/drop/corrupt)
+	Replicas []Replica
+
+	ArrivalRate float64 // mean requests per simulated second (Poisson)
+	Requests    int     // number of requests to simulate
+
+	DeadlineS   float64 // per-request deadline from arrival (default 8x base service)
+	QueueCap    int     // max requests queued per replica (default 4)
+	MaxAttempts int     // primary attempts per request, 1..4 (default 3)
+	BackoffS    float64 // initial retry backoff, doubling per retry (default 0.25x base service)
+	RestartS    float64 // how long a crashed replica stays down (default 25x base service)
+
+	HedgeQuantile   float64 // launch a hedge when an attempt exceeds this latency quantile; 0 disables
+	HedgeMinSamples int     // latency samples needed before hedging (default 16)
+
+	Breaker BreakerConfig // per-replica circuit breaker (CooldownS default 20x base service)
+
+	// Fallback routes to degraded tiers when every better tier is
+	// saturated or broken. When false only the best (lowest) tier
+	// present in the fleet serves traffic.
+	Fallback bool
+
+	// Eval scores the accuracy of the actually-served response mix:
+	// request i carries eval row i mod N, answered by whichever variant
+	// served it. Optional; without it Correct/MixAccuracy stay zero.
+	EvalX      *tensor.Tensor
+	EvalLabels []int
+}
+
+// baseServiceS is the fastest fault-free service time among lowest-tier
+// replicas — the natural time unit of the fleet.
+func (c Config) baseServiceS() float64 {
+	best := 0.0
+	bestTier := Tier(-1)
+	for _, r := range c.Replicas {
+		s := r.ServiceS()
+		if bestTier < 0 || r.Variant.Tier < bestTier || (r.Variant.Tier == bestTier && s < best) {
+			best, bestTier = s, r.Variant.Tier
+		}
+	}
+	return best
+}
+
+func (c *Config) defaults() {
+	base := c.baseServiceS()
+	if c.DeadlineS <= 0 {
+		c.DeadlineS = 8 * base
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffS <= 0 {
+		c.BackoffS = 0.25 * base
+	}
+	if c.RestartS <= 0 {
+		c.RestartS = 25 * base
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 16
+	}
+	if c.Breaker.CooldownS <= 0 {
+		c.Breaker.CooldownS = 20 * base
+	}
+	c.Breaker.defaults()
+}
+
+// validateFleet checks the replica set. It must pass before defaults()
+// derives time units from replica service times.
+func (c Config) validateFleet() error {
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("serve: no replicas")
+	}
+	for i, r := range c.Replicas {
+		if r.Efficiency <= 0 || r.Efficiency > 1 {
+			return fmt.Errorf("serve: replica %d efficiency %g out of (0,1]", i, r.Efficiency)
+		}
+		if r.Variant.Bytes <= 0 || r.Variant.FLOPs <= 0 {
+			return fmt.Errorf("serve: replica %d variant %q has non-positive cost (bytes=%d flops=%d)",
+				i, r.Variant.Name, r.Variant.Bytes, r.Variant.FLOPs)
+		}
+		if r.Variant.Tier < TierFull || r.Variant.Tier >= numTiers {
+			return fmt.Errorf("serve: replica %d has unknown tier %d", i, r.Variant.Tier)
+		}
+	}
+	return nil
+}
+
+func (c Config) validate() error {
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("serve: ArrivalRate must be positive, got %g", c.ArrivalRate)
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("serve: Requests must be positive, got %d", c.Requests)
+	}
+	// The fault hash stream encodes (request, attempt) with primary
+	// attempts in slots 0..3 and hedges in 4..7, so more than 4 primary
+	// attempts would collide with hedge draws.
+	if c.MaxAttempts > 4 {
+		return fmt.Errorf("serve: MaxAttempts %d exceeds 4", c.MaxAttempts)
+	}
+	if c.HedgeQuantile < 0 || c.HedgeQuantile >= 1 {
+		return fmt.Errorf("serve: HedgeQuantile %g out of [0,1)", c.HedgeQuantile)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	return c.Breaker.validate()
+}
+
+// Outcome classifies how a request ended.
+type Outcome int
+
+// Request outcomes.
+const (
+	// Served: a replica returned a correct-by-construction response
+	// before the deadline.
+	Served Outcome = iota
+	// Shed: admission control rejected the request up front because no
+	// admissible replica could meet its deadline budget.
+	Shed
+	// Failed: all attempts (and any hedge) failed or missed the deadline.
+	Failed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Served:
+		return "served"
+	case Shed:
+		return "shed"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// RequestRecord is one line of the request ledger.
+type RequestRecord struct {
+	ID       int
+	ArrivalS float64
+	FinishS  float64 // completion (served), rejection (shed), or last failure time
+	LatencyS float64 // FinishS - ArrivalS for served requests, else 0
+	Outcome  Outcome
+	Tier     Tier // tier that served it (served only)
+	Replica  int  // replica that served it, -1 otherwise
+	Attempts int  // primary attempts dispatched
+	Hedged   bool // a hedge was launched
+	HedgeWon bool // the hedge beat (or outlived) the primary
+	Correct  bool // served response matched the eval label
+}
+
+// Result summarises a run. Records is the full deterministic ledger.
+type Result struct {
+	Records []RequestRecord
+
+	Served, Shed, Failed int
+	Availability         float64 // served / total
+	ShedRate             float64
+	P50S, P99S           float64 // latency of served requests
+
+	HedgesLaunched, HedgeWins      int
+	BreakerOpened, BreakerReclosed int // transitions summed over replicas
+
+	TierCounts  [4]int  // served requests per tier
+	MixAccuracy float64 // accuracy of the actually-served response mix
+}
+
+// replicaState is the simulator's per-replica mutable state.
+type replicaState struct {
+	busyUntilS float64
+	downUntilS float64
+	done       []float64 // completion times of dispatched work, ascending
+	br         *Breaker
+}
+
+func (rs *replicaState) pending(now float64) int {
+	// done is ascending; count entries still in the future.
+	i := sort.SearchFloat64s(rs.done, now)
+	return len(rs.done) - i
+}
+
+// attemptResult is the outcome of one dispatched attempt.
+type attemptResult struct {
+	ok       bool
+	finishS  float64
+	replica  int
+	rejected bool // no admissible replica; nothing was dispatched
+}
+
+// Server runs the simulated serving loop.
+type Server struct {
+	cfg     Config
+	inj     *fault.Injector
+	states  []*replicaState
+	byTier  [][]int // replica indices per tier, ascending id
+	minTier Tier    // best tier present in the fleet
+
+	// latency ring of recent successful attempt durations, for the
+	// hedging quantile estimate.
+	lat     []float64
+	latHead int
+	latN    int
+
+	preds [4][]int // per-tier predictions over the eval rows
+}
+
+// NewServer validates the config and prepares a server. The same server
+// must not be reused across runs; build a fresh one per Run.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.validateFleet(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		inj:    fault.NewInjector(cfg.Faults),
+		byTier: make([][]int, numTiers),
+		lat:    make([]float64, 64),
+	}
+	s.minTier = numTiers
+	for i, r := range cfg.Replicas {
+		s.states = append(s.states, &replicaState{br: NewBreaker(cfg.Breaker)})
+		s.byTier[r.Variant.Tier] = append(s.byTier[r.Variant.Tier], i)
+		if r.Variant.Tier < s.minTier {
+			s.minTier = r.Variant.Tier
+		}
+	}
+	if cfg.EvalX != nil {
+		for t := TierFull; t < numTiers; t++ {
+			for _, ri := range s.byTier[t] {
+				s.preds[t] = cfg.Replicas[ri].Variant.Model.Predict(cfg.EvalX)
+				break // one variant per tier is enough
+			}
+		}
+	}
+	return s, nil
+}
+
+// Breaker exposes replica i's circuit breaker (for tests and ledgers).
+func (s *Server) Breaker(i int) *Breaker { return s.states[i].br }
+
+// Run simulates the configured request stream and returns the ledger.
+func (s *Server) Run() Result {
+	res := Result{}
+	now := 0.0
+	mean := 1 / s.cfg.ArrivalRate
+	correct, scored := 0, 0
+	for i := 0; i < s.cfg.Requests; i++ {
+		now += s.inj.Exp(fault.KindArrival, 0, i, 0, mean)
+		rec := s.serveOne(i, now)
+		res.Records = append(res.Records, rec)
+		switch rec.Outcome {
+		case Served:
+			res.Served++
+			res.TierCounts[rec.Tier]++
+			if s.cfg.EvalX != nil {
+				scored++
+				if rec.Correct {
+					correct++
+				}
+			}
+		case Shed:
+			res.Shed++
+		case Failed:
+			res.Failed++
+		}
+		if rec.Hedged {
+			res.HedgesLaunched++
+		}
+		if rec.HedgeWon {
+			res.HedgeWins++
+		}
+	}
+	total := float64(s.cfg.Requests)
+	res.Availability = float64(res.Served) / total
+	res.ShedRate = float64(res.Shed) / total
+	var lats []float64
+	for _, r := range res.Records {
+		if r.Outcome == Served {
+			lats = append(lats, r.LatencyS)
+		}
+	}
+	res.P50S = quantile(lats, 0.5)
+	res.P99S = quantile(lats, 0.99)
+	for _, st := range s.states {
+		res.BreakerOpened += st.br.Opened()
+		res.BreakerReclosed += st.br.Reclosed()
+	}
+	if scored > 0 {
+		res.MixAccuracy = float64(correct) / float64(scored)
+	}
+	return res
+}
+
+// serveOne walks one request through admission, attempts, retries, and
+// hedging, returning its ledger line.
+func (s *Server) serveOne(id int, arrival float64) RequestRecord {
+	rec := RequestRecord{ID: id, ArrivalS: arrival, Replica: -1}
+	deadline := arrival + s.cfg.DeadlineS
+	dispatch := arrival
+	lastFail := arrival
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if dispatch > deadline {
+			break
+		}
+		prim := s.dispatch(id, attempt, dispatch, deadline, -1, Tier(-1))
+		if prim.rejected {
+			// Admission control: nothing can meet the deadline budget.
+			// On first contact that is a shed (the client is told
+			// immediately); mid-retry it is a failure.
+			if attempt == 0 {
+				rec.Outcome = Shed
+				rec.FinishS = dispatch
+				return rec
+			}
+			break
+		}
+		rec.Attempts++
+		winner := prim
+		failEnd := prim.finishS
+		// Hedge: if the attempt ran past the latency quantile, a second
+		// copy was sent at the moment the quantile elapsed, to a
+		// different replica of the SAME tier (hedging fights latency;
+		// tier degradation is the router's job). Earliest in-deadline
+		// success wins.
+		if q, ok := s.hedgeLatency(); ok && prim.finishS-dispatch > q {
+			hd := dispatch + q
+			if hd <= deadline {
+				primTier := s.cfg.Replicas[prim.replica].Variant.Tier
+				hedge := s.dispatch(id, attempt+4, hd, deadline, prim.replica, primTier)
+				if !hedge.rejected {
+					rec.Hedged = true
+					if hedge.finishS > failEnd {
+						failEnd = hedge.finishS
+					}
+					primGood := prim.ok && prim.finishS <= deadline
+					hedgeGood := hedge.ok && hedge.finishS <= deadline
+					if hedgeGood && (!primGood || hedge.finishS < prim.finishS) {
+						winner = hedge
+						rec.HedgeWon = true
+					}
+				}
+			}
+		}
+		if winner.ok && winner.finishS <= deadline {
+			rec.Outcome = Served
+			rec.FinishS = winner.finishS
+			rec.LatencyS = winner.finishS - arrival
+			rec.Replica = winner.replica
+			rec.Tier = s.cfg.Replicas[winner.replica].Variant.Tier
+			if s.cfg.EvalX != nil {
+				row := id % len(s.cfg.EvalLabels)
+				rec.Correct = s.preds[rec.Tier][row] == s.cfg.EvalLabels[row]
+			}
+			return rec
+		}
+		// Every copy failed or finished past the deadline: retry with
+		// exponential backoff from the latest failure.
+		lastFail = failEnd
+		backoff := s.cfg.BackoffS * float64(int(1)<<attempt)
+		dispatch = lastFail + backoff
+	}
+	rec.Outcome = Failed
+	rec.FinishS = lastFail
+	return rec
+}
+
+// dispatch routes one attempt: picks the best admissible replica, charges
+// its device, draws faults, advances replica state, and feeds the
+// breaker. exclude (-1 for none) bars the primary's replica from hedges;
+// onlyTier (-1 for any) pins hedges to the primary's tier.
+func (s *Server) dispatch(id, attempt int, now, deadline float64, exclude int, onlyTier Tier) attemptResult {
+	ri := s.route(now, deadline, exclude, onlyTier)
+	if ri < 0 {
+		return attemptResult{rejected: true}
+	}
+	st := s.states[ri]
+	rep := s.cfg.Replicas[ri]
+	service := rep.ServiceS()
+	start := now
+	if st.busyUntilS > start {
+		start = st.busyUntilS
+	}
+
+	// A down replica fails fast: the connection is refused after a
+	// fraction of a service time, without occupying the worker.
+	if st.downUntilS > now {
+		finish := now + 0.1*service
+		st.br.Record(finish, false)
+		return attemptResult{ok: false, finishS: finish, replica: ri}
+	}
+
+	// Draw this attempt's faults from independent per-(replica, request,
+	// attempt) hash streams.
+	crashed := s.inj.Chance(fault.KindCrash, ri, id, attempt, s.cfg.Faults.CrashProb)
+	factor := 1.0
+	if s.inj.Chance(fault.KindStraggle, ri, id, attempt, s.cfg.Faults.StragglerProb) {
+		factor = s.cfg.Faults.StragglerFactor
+		if factor <= 1 {
+			factor = 8
+		}
+	}
+	dropped := s.inj.Chance(fault.KindDrop, ri, id, attempt, s.cfg.Faults.DropProb)
+	corrupted := s.inj.Chance(fault.KindCorrupt, ri, id, attempt, s.cfg.Faults.CorruptProb)
+
+	work := service * factor
+	switch {
+	case crashed:
+		// The replica dies mid-request and needs a restart.
+		finish := start + 0.5*work
+		st.busyUntilS = finish
+		st.downUntilS = finish + s.cfg.RestartS
+		st.done = append(st.done, finish)
+		st.br.Record(finish, false)
+		return attemptResult{ok: false, finishS: finish, replica: ri}
+	case dropped, corrupted:
+		// Full work done, but the response is lost or fails its check.
+		finish := start + work
+		st.busyUntilS = finish
+		st.done = append(st.done, finish)
+		st.br.Record(finish, false)
+		return attemptResult{ok: false, finishS: finish, replica: ri}
+	default:
+		finish := start + work
+		st.busyUntilS = finish
+		st.done = append(st.done, finish)
+		st.br.Record(finish, true)
+		s.recordLatency(finish - now)
+		return attemptResult{ok: true, finishS: finish, replica: ri}
+	}
+}
+
+// route picks the serving replica for an attempt: tiers are tried best
+// first (only the best tier when Fallback is off; only onlyTier when it
+// is set); within a tier the admissible replica with the earliest
+// projected start wins, ties broken by lowest id. A replica is admissible
+// when its breaker allows traffic, its queue has room, and its projected
+// completion meets the deadline.
+func (s *Server) route(now, deadline float64, exclude int, onlyTier Tier) int {
+	from, to := s.minTier, numTiers
+	if onlyTier >= 0 {
+		from, to = onlyTier, onlyTier+1
+	}
+	for t := from; t < to; t++ {
+		best, bestStart := -1, 0.0
+		for _, ri := range s.byTier[t] {
+			if ri == exclude {
+				continue
+			}
+			st := s.states[ri]
+			if !st.br.Allow(now) {
+				continue
+			}
+			if st.pending(now) >= s.cfg.QueueCap {
+				continue
+			}
+			start := now
+			if st.busyUntilS > start {
+				start = st.busyUntilS
+			}
+			if start+s.cfg.Replicas[ri].ServiceS() > deadline {
+				continue // queue wait already blows the deadline budget
+			}
+			if best < 0 || start < bestStart {
+				best, bestStart = ri, start
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		if !s.cfg.Fallback {
+			break
+		}
+	}
+	return -1
+}
+
+// hedgeLatency returns the current hedging trigger (the configured
+// quantile of recent successful attempt latencies) once enough samples
+// have accumulated.
+func (s *Server) hedgeLatency() (float64, bool) {
+	if s.cfg.HedgeQuantile <= 0 || s.latN < s.cfg.HedgeMinSamples {
+		return 0, false
+	}
+	window := make([]float64, s.latN)
+	copy(window, s.lat[:s.latN])
+	return quantile(window, s.cfg.HedgeQuantile), true
+}
+
+func (s *Server) recordLatency(d float64) {
+	s.lat[s.latHead] = d
+	s.latHead = (s.latHead + 1) % len(s.lat)
+	if s.latN < len(s.lat) {
+		s.latN++
+	}
+}
+
+// quantile returns the q-quantile of xs by nearest-rank on a sorted copy;
+// 0 for an empty slice.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"dlsys/internal/device"
+	"dlsys/internal/fault"
+)
+
+// testVariant fabricates a variant with the given tier and byte cost; the
+// Model is nil, which is fine as long as no eval set is configured.
+func testVariant(tier Tier, bytes int64) Variant {
+	return Variant{
+		Tier: tier, Name: tier.String(), Accuracy: 1 - 0.05*float64(tier),
+		FLOPs: 3000, Bytes: bytes,
+	}
+}
+
+// testFleet is 2x full + one replica per compressed tier on the edge
+// device — the fleet shape the X6 experiment uses.
+func testFleet() []Replica {
+	mk := func(tier Tier, bytes int64) Replica {
+		return Replica{Variant: testVariant(tier, bytes), Device: device.EdgeDevice, Efficiency: 0.5}
+	}
+	return []Replica{
+		mk(TierFull, 6000),
+		mk(TierFull, 6000),
+		mk(TierQuantized, 1600),
+		mk(TierDistilled, 500),
+		mk(TierPruned, 2000),
+	}
+}
+
+func testConfig(seed int64, faultRate, load float64, requests int, fallback bool) Config {
+	full := Replica{Variant: testVariant(TierFull, 6000), Device: device.EdgeDevice, Efficiency: 0.5}
+	serviceFull := full.ServiceS()
+	return Config{
+		Seed:          seed,
+		Faults:        fault.Rate(seed, faultRate),
+		Replicas:      testFleet(),
+		ArrivalRate:   load * 2 / serviceFull, // 2 full replicas' worth of capacity
+		Requests:      requests,
+		Fallback:      fallback,
+		HedgeQuantile: 0.9,
+	}
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func TestFaultFreeLowLoadServesEverything(t *testing.T) {
+	res := run(t, testConfig(1, 0, 0.5, 400, true))
+	if res.Served != 400 {
+		t.Fatalf("served %d/400 (shed %d failed %d)", res.Served, res.Shed, res.Failed)
+	}
+	if res.Availability != 1 {
+		t.Fatalf("availability %g", res.Availability)
+	}
+	if res.BreakerOpened != 0 {
+		t.Fatalf("breakers opened %d times in a fault-free run", res.BreakerOpened)
+	}
+	// Nearly all traffic stays on the full tier; rare Poisson bursts may
+	// degrade a handful of requests rather than queueing past deadline.
+	if res.TierCounts[TierFull] < 380 {
+		t.Fatalf("too much low-load traffic left the full tier: %v", res.TierCounts)
+	}
+	if res.P50S <= 0 || res.P99S < res.P50S {
+		t.Fatalf("latency stats p50=%g p99=%g", res.P50S, res.P99S)
+	}
+}
+
+func TestReplayIsDeterministic(t *testing.T) {
+	for _, cfg := range []Config{
+		testConfig(7, 0.2, 1.3, 500, true),
+		testConfig(7, 0.05, 0.6, 500, false),
+	} {
+		a := run(t, cfg)
+		b := run(t, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("identical seed and config produced different ledgers")
+		}
+	}
+	// And a different seed must produce a different ledger under faults.
+	a := run(t, testConfig(7, 0.2, 1.3, 500, true))
+	c := run(t, testConfig(8, 0.2, 1.3, 500, true))
+	if reflect.DeepEqual(a.Records, c.Records) {
+		t.Fatal("different seeds produced identical ledgers")
+	}
+}
+
+func TestOverloadShedsWithoutFallback(t *testing.T) {
+	noFB := run(t, testConfig(3, 0, 2.5, 600, false))
+	if noFB.Shed == 0 {
+		t.Fatal("2.5x overload with only the full tier should shed")
+	}
+	withFB := run(t, testConfig(3, 0, 2.5, 600, true))
+	if withFB.Availability <= noFB.Availability {
+		t.Fatalf("fallback availability %.3f not above no-fallback %.3f",
+			withFB.Availability, noFB.Availability)
+	}
+	degraded := withFB.TierCounts[TierQuantized] + withFB.TierCounts[TierDistilled] + withFB.TierCounts[TierPruned]
+	if degraded == 0 {
+		t.Fatal("overloaded fallback run served nothing from compressed tiers")
+	}
+}
+
+func TestFallbackBeatsNoFallbackUnderFaults(t *testing.T) {
+	noFB := run(t, testConfig(5, 0.2, 1.3, 800, false))
+	withFB := run(t, testConfig(5, 0.2, 1.3, 800, true))
+	if withFB.Availability <= noFB.Availability {
+		t.Fatalf("fallback availability %.3f not above no-fallback %.3f under faults",
+			withFB.Availability, noFB.Availability)
+	}
+}
+
+func TestBreakersOpenAndReclose(t *testing.T) {
+	res := run(t, testConfig(11, 0.2, 1.0, 1500, true))
+	if res.BreakerOpened == 0 {
+		t.Fatal("no breaker opened at fault rate 0.2")
+	}
+	if res.BreakerReclosed == 0 {
+		t.Fatal("no breaker re-closed — recovery path never exercised")
+	}
+}
+
+func TestHedgingFiresAndWins(t *testing.T) {
+	// Stragglers (8x) with no other faults, at moderate load so tail
+	// latency is straggler- rather than queue-dominated: hedges should
+	// fire on straggled attempts and some should win.
+	cfg := testConfig(13, 0, 0.5, 1200, true)
+	cfg.Faults = fault.Config{Seed: 13, StragglerProb: 0.15, StragglerFactor: 8}
+	// Hedge below the straggler fraction: at p90 the quantile IS the
+	// straggled latency and nothing strictly exceeds it.
+	cfg.HedgeQuantile = 0.8
+	res := run(t, cfg)
+	if res.HedgesLaunched == 0 {
+		t.Fatal("no hedges launched despite 8x stragglers")
+	}
+	if res.HedgeWins == 0 {
+		t.Fatal("no hedge ever won")
+	}
+	if res.HedgeWins > res.HedgesLaunched {
+		t.Fatalf("hedge wins %d exceed launches %d", res.HedgeWins, res.HedgesLaunched)
+	}
+
+	// With hedging disabled the same scenario must be strictly slower at
+	// the tail.
+	cfg2 := cfg
+	cfg2.HedgeQuantile = 0
+	res2 := run(t, cfg2)
+	if res2.HedgesLaunched != 0 {
+		t.Fatal("hedging ran while disabled")
+	}
+	if res.P99S >= res2.P99S {
+		t.Fatalf("hedged p99 %.4f not below unhedged p99 %.4f", res.P99S, res2.P99S)
+	}
+}
+
+func TestDeadlineAwareShedding(t *testing.T) {
+	// One slow replica, tiny queue, high load: requests whose projected
+	// start blows the deadline must be shed, not queued to die.
+	cfg := testConfig(17, 0, 4.0, 400, false)
+	cfg.QueueCap = 2
+	res := run(t, cfg)
+	if res.Shed == 0 {
+		t.Fatal("nothing shed at 4x overload with QueueCap=2")
+	}
+	// Every served request met its deadline by construction.
+	for _, r := range res.Records {
+		if r.Outcome == Served && r.LatencyS > cfg.DeadlineS+8*testFleet()[0].ServiceS() {
+			t.Fatalf("request %d served after its deadline window", r.ID)
+		}
+	}
+	// Shed requests are rejected instantly (admission control, not
+	// timeout): their finish time equals their arrival.
+	for _, r := range res.Records {
+		if r.Outcome == Shed && r.FinishS != r.ArrivalS {
+			t.Fatalf("request %d shed late: arrival %.4f finish %.4f", r.ID, r.ArrivalS, r.FinishS)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := testConfig(1, 0, 1, 10, true)
+	bad := []func(*Config){
+		func(c *Config) { c.Replicas = nil },
+		func(c *Config) { c.Replicas[0].Efficiency = 0 },
+		func(c *Config) { c.Replicas[0].Efficiency = 1.5 },
+		func(c *Config) { c.Replicas[0].Variant.Bytes = 0 },
+		func(c *Config) { c.Replicas[0].Variant.Tier = Tier(9) },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.Requests = 0 },
+		func(c *Config) { c.MaxAttempts = 5 },
+		func(c *Config) { c.HedgeQuantile = 1 },
+		func(c *Config) { c.Faults.CrashProb = 1.5 },
+		func(c *Config) { c.Breaker.FailureRate = 2 },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		cfg.Replicas = append([]Replica(nil), good.Replicas...)
+		mutate(&cfg)
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewServer(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestBuildVariantsLadder(t *testing.T) {
+	vs, eval, err := BuildVariants(VariantsConfig{Seed: 42, Examples: 800, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("got %d variants, want 4", len(vs))
+	}
+	for i, v := range vs {
+		if v.Tier != Tier(i) {
+			t.Fatalf("variant %d has tier %v", i, v.Tier)
+		}
+		if v.Model == nil || v.Bytes <= 0 || v.FLOPs <= 0 {
+			t.Fatalf("variant %v incomplete: %+v", v.Tier, v)
+		}
+		if v.Accuracy < 0.5 {
+			t.Fatalf("variant %v accuracy %.3f suspiciously low", v.Tier, v.Accuracy)
+		}
+	}
+	// Every compressed tier must actually stream fewer bytes.
+	for _, v := range vs[1:] {
+		if v.Bytes >= vs[0].Bytes {
+			t.Fatalf("tier %v bytes %d not below full %d", v.Tier, v.Bytes, vs[0].Bytes)
+		}
+	}
+	if eval == nil || eval.N() == 0 {
+		t.Fatal("no eval split returned")
+	}
+	// Bad ladder configs surface as errors.
+	if _, _, err := BuildVariants(VariantsConfig{Seed: 1, PruneSparsity: 1.5}); err == nil {
+		t.Fatal("PruneSparsity 1.5 accepted")
+	}
+}
+
+func TestServedMixAccuracyMeasured(t *testing.T) {
+	vs, eval, err := BuildVariants(VariantsConfig{Seed: 42, Examples: 800, Epochs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v Variant) Replica {
+		return Replica{Variant: v, Device: device.EdgeDevice, Efficiency: 0.5}
+	}
+	fleet := []Replica{mk(vs[0]), mk(vs[0]), mk(vs[1]), mk(vs[2]), mk(vs[3])}
+	serviceFull := fleet[0].ServiceS()
+	cfg := Config{
+		Seed: 3, Replicas: fleet, Requests: 500, Fallback: true,
+		ArrivalRate: 1.3 * 2 / serviceFull,
+		Faults:      fault.Rate(3, 0.2),
+		EvalX:       eval.X, EvalLabels: eval.Labels,
+	}
+	res := run(t, cfg)
+	if res.MixAccuracy <= 0.5 || res.MixAccuracy > 1 {
+		t.Fatalf("served-mix accuracy %.3f implausible", res.MixAccuracy)
+	}
+	// The mix accuracy cannot exceed the best variant's accuracy by more
+	// than sampling noise on this fixed eval set.
+	if res.MixAccuracy > vs[0].Accuracy+0.05 {
+		t.Fatalf("mix accuracy %.3f above full-model accuracy %.3f", res.MixAccuracy, vs[0].Accuracy)
+	}
+}
