@@ -65,6 +65,10 @@ func Techniques() []Technique {
 		{"retry with exponential backoff", "distributed", []Metric{Reliability}, []Metric{Communication, TrainingTime}, "2.1"},
 		{"backup workers (drop-slowest-k)", "distributed", []Metric{TrainingTime, Reliability}, []Metric{Accuracy}, "2.1"},
 		{"deterministic fault injection", "fault", []Metric{Reliability, Transparency}, nil, "2.1"},
+		{"numerical-fault guards (NaN/spike/explosion detection)", "guard", []Metric{Reliability}, []Metric{TrainingTime}, "2.3"},
+		{"input schema and drift validation", "guard", []Metric{Reliability, Transparency}, []Metric{TrainingTime}, "2.3"},
+		{"checkpoint rollback with optimizer reset", "guard", []Metric{Reliability}, []Metric{Memory, TrainingTime}, "2.3"},
+		{"replayable incident ledger", "guard", []Metric{Transparency, Reliability}, nil, "2.3"},
 		{"model-state checkpointing", "checkpoint", []Metric{Reliability}, []Metric{Memory, TrainingTime}, "2.3"},
 		{"graceful pipeline degradation", "pipeline", []Metric{Reliability}, []Metric{Accuracy, Memory}, "3"},
 		{"deadline-aware load shedding", "serve", []Metric{Reliability, InferenceTime}, nil, "2.1"},

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlsys/internal/data"
+	"dlsys/internal/fault"
+	"dlsys/internal/guard"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// X7 studies self-healing training under numerical faults: batches poisoned
+// with NaN/Inf/huge values, shuffled labels, and transient learning-rate
+// spikes, all drawn from a deterministic schedule. The guard is swept in
+// both modes over increasing fault rates — Observe follows the identical
+// data and injection path but never intervenes, so it is the fair
+// "unguarded" baseline. The claim: where the unguarded run diverges, the
+// guarded one finishes near the fault-free loss, and the incident ledger
+// replays bit-identically under the same seed.
+
+func init() {
+	register(Experiment{
+		ID: "X7", Section: "2.3",
+		Title: "Self-healing training under numerical faults",
+		Claim: "Numerical-fault guards (schema checks, NaN/spike/explosion detection, checkpoint rollback) keep training convergent at fault rates that make an unguarded run diverge, with a deterministic incident ledger",
+		Run:   runX7,
+	})
+}
+
+// selfHealResult summarises one guarded (or observed) training run.
+type selfHealResult struct {
+	CleanLoss   float64 // cross-entropy on held-out clean data after training
+	Accuracy    float64
+	Incidents   int
+	Rollbacks   int
+	Fingerprint uint64
+}
+
+// runSelfHeal trains one MLP on train under an injected numerical-fault
+// schedule with the given guard mode, then scores it on clean held-out data.
+// Everything is seeded, so the same arguments reproduce the same result and
+// the same ledger fingerprint.
+func runSelfHeal(train, test *data.Dataset, rate float64, mode guard.Mode, epochs int) selfHealResult {
+	net := nn.NewMLP(rand.New(rand.NewSource(171)), nn.MLPConfig{In: 6, Hidden: []int{24}, Out: 3})
+	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.01), rand.New(rand.NewSource(172)))
+	g := guard.New(tr, guard.Policy{Mode: mode, Schema: guard.NewBatchSchema(train.X, 6)})
+
+	var inj *fault.Injector
+	if rate > 0 {
+		inj = fault.NewInjector(fault.NumericalRate(173, rate))
+	}
+	g.Fit(train.X, nn.OneHot(train.Labels, 3), guard.FitConfig{
+		Epochs: epochs, BatchSize: 16,
+		Inject: func(step int, bx, by *tensor.Tensor) {
+			if inj.CorruptsBatch(0, step) {
+				inj.CorruptBatchValues(bx.Data, 0, step)
+			}
+			if inj.LabelNoise(0, step) {
+				inj.ShuffleLabels(by.Data, by.Dim(0), by.Dim(1), 0, step)
+			}
+		},
+		LRSpike: func(step int) float64 { return inj.LRSpikeFactor(0, step) },
+	})
+
+	// Score on clean data: a forward pass over the held-out set. A poisoned
+	// model shows up here as a non-finite loss.
+	loss := tr.ComputeGrad(test.X, nn.OneHot(test.Labels, 3))
+	return selfHealResult{
+		CleanLoss:   loss,
+		Accuracy:    net.Accuracy(test.X, test.Labels),
+		Incidents:   g.Ledger().Len(),
+		Rollbacks:   g.Ledger().Rollbacks,
+		Fingerprint: g.Ledger().Fingerprint(),
+	}
+}
+
+func runX7(scale Scale) *Table {
+	n, epochs := 480, 12
+	if scale == Full {
+		n, epochs = 1600, 25
+	}
+	rng := rand.New(rand.NewSource(170))
+	ds := data.GaussianMixture(rng, n, 6, 3, 2.5)
+	train, test := ds.Split(rng, 0.8)
+
+	t := &Table{ID: "X7", Title: "Self-healing training under numerical faults",
+		Claim:   "guarded training converges at fault rates where unguarded diverges; the incident ledger replays identically",
+		Columns: []string{"fault_rate", "mode", "clean_loss", "diverged", "accuracy", "incidents", "rollbacks", "fingerprint"}}
+
+	// Fault-free reference first: divergence is defined against it (a
+	// poisoned model can end up non-finite, or merely orders of magnitude
+	// worse when dead NaN weights leave a constant predictor behind).
+	base := runSelfHeal(train, test, 0, guard.Enforce, epochs)
+	diverged := func(loss float64) string {
+		if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > 10*base.CleanLoss {
+			return "yes"
+		}
+		return "no"
+	}
+	addRow := func(rateLabel any, modeLabel string, r selfHealResult) {
+		t.AddRow(rateLabel, modeLabel, r.CleanLoss, diverged(r.CleanLoss),
+			r.Accuracy, r.Incidents, r.Rollbacks, fmt.Sprintf("%016x", r.Fingerprint))
+	}
+	addRow(0.0, "enforce", base)
+	for _, rate := range []float64{0.02, 0.05, 0.1} {
+		addRow(rate, "enforce", runSelfHeal(train, test, rate, guard.Enforce, epochs))
+		addRow(rate, "observe", runSelfHeal(train, test, rate, guard.Observe, epochs))
+	}
+
+	// Replay determinism: the highest-rate guarded run again, same seeds —
+	// the ledger fingerprint must match the row above.
+	addRow("0.1/replay", "enforce", runSelfHeal(train, test, 0.1, guard.Enforce, epochs))
+
+	t.Shape = "observe diverges (non-finite or ≫ fault-free clean loss) once faults fire while enforce stays near the fault-free loss at every rate; the replay row repeats the 0.1-rate fingerprint exactly"
+	return t
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/data"
+	"dlsys/internal/guard"
+)
+
+// The ISSUE's acceptance criteria for self-healing training, checked at
+// quick scale: pick a fault rate where the unguarded (Observe) run diverges
+// — non-finite clean loss or >10x the fault-free loss — and show that the
+// guarded (Enforce) run at the same rate on the same injection schedule
+// finishes within 1.2x of the fault-free final loss, and that replaying the
+// same seed reproduces the identical incident ledger fingerprint.
+func TestX7SelfHealClaims(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	ds := data.GaussianMixture(rng, 480, 6, 3, 2.5)
+	train, test := ds.Split(rng, 0.8)
+	const rate, epochs = 0.1, 12
+
+	clean := runSelfHeal(train, test, 0, guard.Enforce, epochs)
+	if math.IsNaN(clean.CleanLoss) || clean.Incidents != 0 {
+		t.Fatalf("fault-free run: loss %v, incidents %d", clean.CleanLoss, clean.Incidents)
+	}
+
+	observed := runSelfHeal(train, test, rate, guard.Observe, epochs)
+	diverged := math.IsNaN(observed.CleanLoss) || math.IsInf(observed.CleanLoss, 0) ||
+		observed.CleanLoss > 10*clean.CleanLoss
+	if !diverged {
+		t.Fatalf("unguarded run did not diverge at rate %g: clean loss %v (fault-free %v)",
+			rate, observed.CleanLoss, clean.CleanLoss)
+	}
+	if observed.Incidents == 0 {
+		t.Fatal("observe mode recorded no incidents despite injected faults")
+	}
+	if observed.Rollbacks != 0 {
+		t.Fatal("observe mode must never roll back")
+	}
+
+	guarded := runSelfHeal(train, test, rate, guard.Enforce, epochs)
+	if math.IsNaN(guarded.CleanLoss) || math.IsInf(guarded.CleanLoss, 0) {
+		t.Fatalf("guarded run diverged: clean loss %v", guarded.CleanLoss)
+	}
+	if guarded.CleanLoss > 1.2*clean.CleanLoss {
+		t.Fatalf("guarded clean loss %.4f exceeds 1.2x fault-free %.4f",
+			guarded.CleanLoss, clean.CleanLoss)
+	}
+	if guarded.Incidents == 0 {
+		t.Fatal("guarded run recorded no incidents despite injected faults")
+	}
+
+	replay := runSelfHeal(train, test, rate, guard.Enforce, epochs)
+	if replay.Fingerprint != guarded.Fingerprint {
+		t.Fatalf("ledger fingerprints differ across identical runs: %016x vs %016x",
+			guarded.Fingerprint, replay.Fingerprint)
+	}
+	if replay.CleanLoss != guarded.CleanLoss || replay.Incidents != guarded.Incidents ||
+		replay.Rollbacks != guarded.Rollbacks {
+		t.Fatalf("replay not deterministic:\nA: %+v\nB: %+v", guarded, replay)
+	}
+}
+
+// The X7 table itself must carry the claim's shape: every enforce row
+// finite, at least one observe row diverged, and the replay row repeating
+// the 0.1-rate fingerprint.
+func TestX7TableShape(t *testing.T) {
+	e, ok := Get("X7")
+	if !ok {
+		t.Fatal("X7 not registered")
+	}
+	tab := e.Run(Quick)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("X7 rows = %d, want 8", len(tab.Rows))
+	}
+	var fpAtRate01, fpReplay string
+	observedDiverged := false
+	for _, row := range tab.Rows {
+		rate, mode, diverged, fp := row[0], row[1], row[3], row[7]
+		if mode == "enforce" && diverged == "yes" {
+			t.Fatalf("enforce row diverged at rate %s", rate)
+		}
+		if mode == "observe" && diverged == "yes" {
+			observedDiverged = true
+		}
+		if rate == "0.1" && mode == "enforce" {
+			fpAtRate01 = fp
+		}
+		if rate == "0.1/replay" {
+			fpReplay = fp
+		}
+	}
+	if !observedDiverged {
+		t.Fatal("no observe row diverged")
+	}
+	if fpAtRate01 == "" || fpAtRate01 != fpReplay {
+		t.Fatalf("replay fingerprint %s != original %s", fpReplay, fpAtRate01)
+	}
+}

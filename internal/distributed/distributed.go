@@ -29,6 +29,7 @@ import (
 	"dlsys/internal/checkpoint"
 	"dlsys/internal/device"
 	"dlsys/internal/fault"
+	"dlsys/internal/guard"
 	"dlsys/internal/nn"
 	"dlsys/internal/tensor"
 )
@@ -80,6 +81,14 @@ type Config struct {
 	// model snapshots (default 5 when faults are enabled). Crashed workers
 	// rejoin by restoring the newest snapshot whose CRC verifies.
 	SnapshotPeriod int
+
+	// Guard, when non-nil, screens worker contributions for numerical
+	// faults before they reach the aggregate: a worker whose loss or
+	// gradient is non-finite is excluded from the round (sync regime), and
+	// a worker whose parameters went non-finite is restored from the
+	// newest snapshot (Local SGD regime). With guard.Observe the faults
+	// are counted but allowed through — the unguarded baseline.
+	Guard *guard.Policy
 }
 
 // Stats reports what a run cost and how it progressed.
@@ -102,6 +111,11 @@ type Stats struct {
 	StragglerRounds int     // rounds where >=1 participant straggled
 	ExcludedSlow    int     // worker-rounds excluded by DropSlowestK
 	SimSeconds      float64 // simulated wall-clock on Config.Device
+
+	// Numerical-fault counters (all zero without numerical fault config).
+	NumericalFaults int // batches poisoned / labels shuffled by the injector
+	GuardSkipped    int // worker contributions excluded by the guard
+	GuardRestores   int // worker models rolled back after poisoned updates
 }
 
 const wireBytesPerFloat = 4 // gradients/parameters travel as float32
@@ -197,7 +211,7 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 			}
 			if cfg.AveragePeriod == 1 {
 				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, &stats)
-				if ok && active[0].id == 0 {
+				if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 					epochLoss += loss
 					lossSteps++
 				}
@@ -205,9 +219,9 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 					takeSnapshot(store, inj, round+1, active[0].net, &stats)
 				}
 			} else {
-				localRound(active, x, y, cfg, net, step, round, flopsPerExample, &stats)
-				if active[0].id == 0 {
-					epochLoss += activeLoss(active[0])
+				localRound(active, x, y, cfg, net, store, step, round, flopsPerExample, &stats)
+				if l := activeLoss(active[0]); active[0].id == 0 && !math.IsNaN(l) && !math.IsInf(l, 0) {
+					epochLoss += l
 					lossSteps++
 				}
 				globalStep := round + 1
@@ -299,10 +313,12 @@ func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store
 
 // gradResult is one worker's contribution to a synchronous round.
 type gradResult struct {
-	wk      *worker
-	loss    float64
-	grad    []float64
-	seconds float64 // simulated compute time incl. straggle factor
+	wk       *worker
+	loss     float64
+	grad     []float64
+	seconds  float64 // simulated compute time incl. straggle factor
+	injected int     // numerical faults injected into this worker's batch
+	poisoned bool    // loss or gradient is non-finite
 }
 
 // computeGrads runs every active worker's forward/backward in parallel
@@ -316,6 +332,18 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 		go func(i int, wk *worker) {
 			defer wg.Done()
 			bx, by := wk.nextBatch(x, y, step, cfg.BatchSize)
+			r := gradResult{wk: wk}
+			// Numerical fault injection: the draws are keyed by
+			// (worker, round), so concurrent execution order cannot
+			// change which batches get poisoned.
+			if inj.CorruptsBatch(wk.id, round) {
+				inj.CorruptBatchValues(bx.Data, wk.id, round)
+				r.injected++
+			}
+			if inj.LabelNoise(wk.id, round) {
+				inj.ShuffleLabels(by.Data, by.Dim(0), by.Dim(1), wk.id, round)
+				r.injected++
+			}
 			var loss float64
 			if localStep {
 				loss = wk.trainer.Step(bx, by)
@@ -323,9 +351,10 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 				loss = wk.trainer.ComputeGrad(bx, by)
 			}
 			wk.lastLoss = loss
-			r := gradResult{wk: wk, loss: loss}
+			r.loss = loss
 			if !localStep {
 				r.grad = wk.net.GradVector()
+				r.poisoned = math.IsNaN(loss) || math.IsInf(loss, 0) || !tensor.AllFinite(r.grad)
 			}
 			r.seconds = prof.ComputeTime(flopsPerExample*int64(bx.Dim(0)), 0.5) * inj.StraggleFactor(wk.id, round)
 			results[i] = r
@@ -342,6 +371,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
 	straggled := false
 	for _, r := range results {
+		stats.NumericalFaults += r.injected
 		if r.seconds > net.prof.ComputeTime(flopsPerExample*int64(cfg.BatchSize), 0.5)*1.5 {
 			straggled = true
 		}
@@ -350,28 +380,45 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		stats.StragglerRounds++
 	}
 
+	// Numerical guard: a poisoned contribution (non-finite loss or
+	// gradient) is excluded before aggregation — one NaN in the average
+	// poisons every replica. The poisoned gradient is NOT folded into the
+	// residual: deferring it would just re-inject the poison later.
+	screened := results
+	if cfg.Guard != nil && cfg.Guard.Mode == guard.Enforce {
+		kept := make([]gradResult, 0, len(results))
+		for _, r := range results {
+			if r.poisoned {
+				stats.GuardSkipped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		screened = kept
+	}
+
 	// Straggler mitigation: the aggregation round closes after the fastest
-	// len(active)-k workers report — the k slowest are cut out.
-	included := results
-	if k := cfg.DropSlowestK; k > 0 && len(results) > k {
-		order := make([]int, len(results))
+	// len(screened)-k workers report — the k slowest are cut out.
+	included := screened
+	if k := cfg.DropSlowestK; k > 0 && len(screened) > k {
+		order := make([]int, len(screened))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			ra, rb := results[order[a]], results[order[b]]
+			ra, rb := screened[order[a]], screened[order[b]]
 			if ra.seconds != rb.seconds {
 				return ra.seconds < rb.seconds
 			}
 			return ra.wk.id < rb.wk.id
 		})
-		included = make([]gradResult, 0, len(results)-k)
-		for _, oi := range order[:len(results)-k] {
-			included = append(included, results[oi])
+		included = make([]gradResult, 0, len(screened)-k)
+		for _, oi := range order[:len(screened)-k] {
+			included = append(included, screened[oi])
 		}
 		sort.Slice(included, func(a, b int) bool { return included[a].wk.id < included[b].wk.id })
-		for _, oi := range order[len(results)-k:] {
-			r := results[oi]
+		for _, oi := range order[len(screened)-k:] {
+			r := screened[oi]
 			stats.ExcludedSlow++
 			if !cfg.NoErrorFeedback {
 				// Defer the dropped worker's gradient instead of losing it.
@@ -445,12 +492,16 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 }
 
 // localRound executes one Local SGD step on every active worker in
-// parallel and accounts its simulated compute time.
-func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round int, flopsPerExample int64, stats *Stats) {
+// parallel and accounts its simulated compute time. Under an enforcing
+// guard, a worker whose parameters went non-finite (it already applied a
+// poisoned update locally) is rolled back to the newest verifiable global
+// snapshot instead of shipping NaNs into the next average.
+func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, store *checkpoint.Store, step, round int, flopsPerExample int64, stats *Stats) {
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, true)
 	var computeS float64
 	straggled := false
 	for _, r := range results {
+		stats.NumericalFaults += r.injected
 		if r.seconds > computeS {
 			computeS = r.seconds
 		}
@@ -460,6 +511,17 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 	}
 	if straggled {
 		stats.StragglerRounds++
+	}
+	if cfg.Guard != nil && cfg.Guard.Mode == guard.Enforce {
+		var buf []float64
+		for _, r := range results {
+			buf = r.wk.net.ParamVectorInto(buf)
+			if !tensor.AllFinite(buf) {
+				if _, _, err := store.Restore(r.wk.net); err == nil {
+					stats.GuardRestores++
+				}
+			}
+		}
 	}
 	stats.SimSeconds += computeS
 }

@@ -29,6 +29,14 @@ const (
 	KindCorrupt                  // payload bit-flipped in flight (CRC must catch it)
 	KindStage                    // pipeline stage failure (graceful degradation)
 	KindArrival                  // request inter-arrival draw (serving workloads)
+
+	// Numerical fault classes, injected into the training computation
+	// itself rather than the communication layer. These are what the
+	// self-healing guard (internal/guard) defends against.
+
+	KindBatchCorrupt // input batch poisoned with NaN/Inf/huge values
+	KindLabelNoise   // burst of shuffled labels (gradient poison without NaNs)
+	KindLRSpike      // learning rate transiently multiplied (divergence trigger)
 )
 
 // String names the kind for schedules and logs.
@@ -46,6 +54,12 @@ func (k Kind) String() string {
 		return "stage-fail"
 	case KindArrival:
 		return "arrival"
+	case KindBatchCorrupt:
+		return "batch-corrupt"
+	case KindLabelNoise:
+		return "label-noise"
+	case KindLRSpike:
+		return "lr-spike"
 	}
 	return "unknown"
 }
@@ -74,6 +88,20 @@ type Config struct {
 	// CorruptProb is the per-attempt probability that a payload arrives
 	// bit-corrupted; receivers detect this via CRC and request a resend.
 	CorruptProb float64
+
+	// BatchCorruptProb is the per-step probability that the input batch is
+	// poisoned with non-finite or absurdly large values (a flaky data
+	// loader, a bad shard, a bit-flip upstream of the feature pipeline).
+	BatchCorruptProb float64
+	// LabelNoiseProb is the per-step probability that the batch's labels
+	// arrive shuffled — a gradient poison that stays finite, so it must be
+	// caught by divergence detection rather than NaN scans.
+	LabelNoiseProb float64
+	// LRSpikeProb is the per-step probability that the learning rate is
+	// transiently multiplied by LRSpikeFactor (default 64), modelling a
+	// mis-applied schedule or config push.
+	LRSpikeProb   float64
+	LRSpikeFactor float64
 }
 
 // Rate builds a Config in which one knob drives every fault class at
@@ -91,9 +119,24 @@ func Rate(seed int64, rate float64) Config {
 	}
 }
 
+// NumericalRate builds a Config in which one knob drives only the numerical
+// fault classes: batch corruption at the full rate, label-noise bursts at
+// half, LR spikes at a fifth. This is the scenario generator for the X7
+// self-healing experiment.
+func NumericalRate(seed int64, rate float64) Config {
+	return Config{
+		Seed:             seed,
+		BatchCorruptProb: rate,
+		LabelNoiseProb:   rate / 2,
+		LRSpikeProb:      rate / 5,
+		LRSpikeFactor:    64,
+	}
+}
+
 // Enabled reports whether any fault class has nonzero probability.
 func (c Config) Enabled() bool {
-	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0
+	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0 ||
+		c.BatchCorruptProb > 0 || c.LabelNoiseProb > 0 || c.LRSpikeProb > 0
 }
 
 // Validate checks every probability is in [0, 1].
@@ -104,6 +147,8 @@ func (c Config) Validate() error {
 	}{
 		{"CrashProb", c.CrashProb}, {"StragglerProb", c.StragglerProb},
 		{"DropProb", c.DropProb}, {"CorruptProb", c.CorruptProb},
+		{"BatchCorruptProb", c.BatchCorruptProb}, {"LabelNoiseProb", c.LabelNoiseProb},
+		{"LRSpikeProb", c.LRSpikeProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return &ConfigError{Field: p.name, Value: p.v}

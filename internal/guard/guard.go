@@ -1,0 +1,361 @@
+package guard
+
+import (
+	"math"
+
+	"dlsys/internal/checkpoint"
+	"dlsys/internal/nn"
+	"dlsys/internal/tensor"
+)
+
+// Mode selects whether detections are acted upon.
+type Mode int
+
+// Guard modes.
+const (
+	// Enforce detects and remediates: skip, clip, back off, roll back.
+	Enforce Mode = iota
+	// Observe detects and records incidents but never intervenes. An
+	// Observe-mode trainer follows the exact same data and injection path
+	// as an Enforce-mode one, which makes it the fair "unguarded" baseline
+	// for self-healing experiments.
+	Observe
+)
+
+// Policy configures detection thresholds and the remediation escalation.
+// The zero value gets sensible defaults from New.
+type Policy struct {
+	Mode Mode
+
+	// Detection.
+	LossSpikeZ    float64 // z-score above which a loss is a spike (default 8)
+	EMADecay      float64 // loss EMA decay (default 0.95)
+	WarmupSteps   int     // healthy steps before spike detection arms (default 8)
+	NormWindow    int     // rolling window of healthy gradient norms (default 16)
+	ExplodeFactor float64 // norm > factor·median ⇒ explosion (default 10)
+	// ExplodeMinNorm is an absolute floor: norms below it are never treated
+	// as explosions, however small the rolling median gets late in training
+	// (default 1). Set a tiny value to make the detector purely relative.
+	ExplodeMinNorm float64
+	Schema         *BatchSchema // nil disables input validation
+
+	// Remediation.
+	LRBackoff     float64 // LR multiplier on a loss spike (default 0.5)
+	MinLR         float64 // floor under backoff/damping (default 1e-5)
+	DampFactor    float64 // LR multiplier after a rollback (default 0.7)
+	RollbackAfter int     // consecutive bad steps before rollback (default 3)
+
+	// Checkpointing.
+	SnapshotEvery int // healthy steps between snapshots (default 10)
+	KeepSnapshots int // retained snapshots (default 3)
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.LossSpikeZ == 0 {
+		p.LossSpikeZ = 8
+	}
+	if p.EMADecay == 0 {
+		p.EMADecay = 0.95
+	}
+	if p.WarmupSteps == 0 {
+		p.WarmupSteps = 8
+	}
+	if p.NormWindow == 0 {
+		p.NormWindow = 16
+	}
+	if p.ExplodeFactor == 0 {
+		p.ExplodeFactor = 10
+	}
+	if p.ExplodeMinNorm == 0 {
+		p.ExplodeMinNorm = 1
+	}
+	if p.LRBackoff == 0 {
+		p.LRBackoff = 0.5
+	}
+	if p.MinLR == 0 {
+		p.MinLR = 1e-5
+	}
+	if p.DampFactor == 0 {
+		p.DampFactor = 0.7
+	}
+	if p.RollbackAfter == 0 {
+		p.RollbackAfter = 3
+	}
+	if p.SnapshotEvery == 0 {
+		p.SnapshotEvery = 10
+	}
+	if p.KeepSnapshots == 0 {
+		p.KeepSnapshots = 3
+	}
+	return p
+}
+
+// Trainer wraps an nn.Trainer with self-healing supervision. Each step runs
+// detect → remediate → (maybe) update, and every intervention lands in the
+// incident ledger.
+type Trainer struct {
+	Inner  *nn.Trainer
+	Policy Policy
+
+	ledger    Ledger
+	store     *checkpoint.Store
+	lossMon   lossMonitor
+	normWin   *normWindow
+	baseLR    float64
+	consecBad int
+	step      int
+	sinceSnap int
+	paramBuf  []float64 // reused for post-update finiteness scans
+}
+
+// New wraps a trainer in a self-healing supervisor. An initial snapshot is
+// taken immediately so rollback is always possible, and the optimizer's
+// current LR becomes the base rate that backoff and damping operate on.
+func New(inner *nn.Trainer, p Policy) *Trainer {
+	p = p.withDefaults()
+	g := &Trainer{
+		Inner:   inner,
+		Policy:  p,
+		store:   checkpoint.NewStore(p.KeepSnapshots),
+		lossMon: lossMonitor{decay: p.EMADecay, warmup: p.WarmupSteps},
+		normWin: newNormWindow(p.NormWindow),
+		baseLR:  inner.Opt.LR(),
+	}
+	g.store.Put(checkpoint.TakeSnapshot(0, inner.Net))
+	return g
+}
+
+// Ledger returns the incident audit trail.
+func (g *Trainer) Ledger() *Ledger { return &g.ledger }
+
+// BaseLR returns the current base learning rate (after any backoff/damping).
+func (g *Trainer) BaseLR() float64 { return g.baseLR }
+
+// Snapshot forces a checkpoint of the current parameters at the current step.
+func (g *Trainer) Snapshot() { g.store.Put(checkpoint.TakeSnapshot(g.step, g.Inner.Net)) }
+
+// Step runs one guarded step at the base learning rate. It returns the batch
+// loss as computed (NaN/Inf included, so callers see the truth) and whether
+// the parameter update was applied.
+func (g *Trainer) Step(bx, by *tensor.Tensor) (loss float64, applied bool) {
+	return g.StepLR(bx, by, 1)
+}
+
+// StepLR is Step with a transient learning-rate multiplier for this step
+// only — the injection point for LR-spike faults. The guard's base LR
+// bookkeeping (backoff, damping) is unaffected by the multiplier.
+func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64, applied bool) {
+	step := g.step
+	g.step++
+	enforce := g.Policy.Mode == Enforce
+	g.Inner.Opt.SetLR(g.baseLR * lrFactor)
+
+	// 1. Input validation: bad batches are discarded before any compute.
+	if s := g.Policy.Schema; s != nil {
+		_, ok, drifted := s.Check(bx)
+		if !ok {
+			if enforce {
+				g.bad(step, KindBadBatch, ActionSkipBatch, 0)
+				return math.NaN(), false
+			}
+			g.ledger.record(Incident{Step: step, Kind: KindBadBatch, Action: ActionObserved})
+		} else if drifted {
+			// Drift is a flag in both modes: the batch is usable, but the
+			// shift is worth surfacing to operators.
+			g.ledger.record(Incident{Step: step, Kind: KindInputDrift, Action: ActionFlagged, Value: bx.Mean()})
+		}
+	}
+
+	// 2. Forward/backward without touching parameters.
+	loss = g.Inner.ComputeGrad(bx, by)
+	grads := g.Inner.Net.GradVector()
+	norm, gradsFinite := tensor.Norm2Finite(grads)
+	lossFinite := !math.IsNaN(loss) && !math.IsInf(loss, 0)
+
+	// 3. Detect, in severity order; remediate when enforcing.
+	switch {
+	case !lossFinite || !gradsFinite:
+		kind := KindNonFiniteLoss
+		val := loss
+		if lossFinite {
+			kind = KindNonFiniteGrad
+			val = 0
+		}
+		if !enforce {
+			g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionObserved, Value: val})
+			break // fall through to the unguarded update
+		}
+		g.bad(step, kind, ActionSkipBatch, val)
+		return loss, false
+
+	case g.lossSpike(loss):
+		z := g.lossMon.zscore(loss)
+		if !enforce {
+			g.ledger.record(Incident{Step: step, Kind: KindLossSpike, Action: ActionObserved, Value: z})
+			break
+		}
+		// A spiking loss means the model is being driven somewhere bad:
+		// discard the step and take smaller ones from here on.
+		g.baseLR = math.Max(g.Policy.MinLR, g.baseLR*g.Policy.LRBackoff)
+		g.bad(step, KindLossSpike, ActionBackoffLR, z)
+		return loss, false
+
+	case g.normWin.ready() && norm > g.Policy.ExplodeMinNorm && norm > g.Policy.ExplodeFactor*g.normWin.median():
+		if !enforce {
+			g.ledger.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionObserved, Value: norm})
+			break
+		}
+		// The direction is usable, the magnitude is not: rescale the
+		// gradient to the healthy median norm and proceed.
+		target := g.normWin.median()
+		scale := target / norm
+		for i := range grads {
+			grads[i] *= scale
+		}
+		g.Inner.Net.SetGradVector(grads)
+		g.ledger.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionClipGrad, Value: norm})
+		g.applyHealthy(step, loss, target)
+		return loss, true
+	}
+
+	if !enforce {
+		// Observe mode always applies — it exists to show what an
+		// unguarded trainer would have done. Monitors still only ingest
+		// finite observations so the detectors keep functioning.
+		g.Inner.ApplyUpdate()
+		if lossFinite && gradsFinite {
+			g.lossMon.observe(loss)
+			g.normWin.add(norm)
+		}
+		return loss, true
+	}
+
+	g.applyHealthy(step, loss, norm)
+
+	// 4. Post-update parameter scan: an update can overflow even from
+	// finite gradients (e.g. under a spiked LR). Poisoned parameters can
+	// only be fixed by rollback — skipping future batches won't un-NaN them.
+	g.paramBuf = g.Inner.Net.ParamVectorInto(g.paramBuf)
+	if !tensor.AllFinite(g.paramBuf) {
+		g.rollback(step, KindNonFiniteParam, 0)
+		return loss, false
+	}
+	return loss, true
+}
+
+// lossSpike reports whether the loss is a finite spike vs the EMA baseline.
+func (g *Trainer) lossSpike(loss float64) bool {
+	return g.lossMon.zscore(loss) > g.Policy.LossSpikeZ
+}
+
+// applyHealthy applies the pending update, feeds the monitors, resets the
+// escalation counter, and takes a periodic snapshot.
+func (g *Trainer) applyHealthy(step int, loss, norm float64) {
+	g.Inner.ApplyUpdate()
+	g.lossMon.observe(loss)
+	g.normWin.add(norm)
+	g.consecBad = 0
+	g.sinceSnap++
+	if g.sinceSnap >= g.Policy.SnapshotEvery {
+		g.store.Put(checkpoint.TakeSnapshot(step, g.Inner.Net))
+		g.sinceSnap = 0
+	}
+}
+
+// bad records a remediated-but-skipped step and escalates to rollback after
+// RollbackAfter consecutive bad steps.
+func (g *Trainer) bad(step int, kind IncidentKind, action Action, val float64) {
+	g.consecBad++
+	if g.consecBad >= g.Policy.RollbackAfter {
+		g.rollback(step, kind, val)
+		return
+	}
+	g.ledger.record(Incident{Step: step, Kind: kind, Action: action, Value: val})
+}
+
+// rollback restores the newest verifiable snapshot, resets stateful
+// optimizer moments, damps the base LR, and clears the detection baselines
+// (post-rollback dynamics differ from pre-fault dynamics, so stale baselines
+// would mis-fire).
+func (g *Trainer) rollback(step int, kind IncidentKind, val float64) {
+	if _, _, err := g.store.Restore(g.Inner.Net); err != nil {
+		// No verifiable snapshot — record the attempt; training continues
+		// from current parameters, which is the best remaining option.
+		g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionSkipBatch, Value: val})
+		g.consecBad = 0
+		return
+	}
+	if r, ok := g.Inner.Opt.(nn.StateResetter); ok {
+		r.ResetState()
+	}
+	g.baseLR = math.Max(g.Policy.MinLR, g.baseLR*g.Policy.DampFactor)
+	g.lossMon = lossMonitor{decay: g.Policy.EMADecay, warmup: g.Policy.WarmupSteps}
+	g.normWin = newNormWindow(g.Policy.NormWindow)
+	g.consecBad = 0
+	g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionRollback, Value: val})
+}
+
+// FitConfig controls a guarded training run.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int
+	// Inject, when non-nil, may poison the gathered batch in place before
+	// the step runs — the hook fault-injection experiments use.
+	Inject func(step int, bx, by *tensor.Tensor)
+	// LRSpike, when non-nil, returns a transient learning-rate multiplier
+	// for the step (1 = no fault).
+	LRSpike func(step int) float64
+}
+
+// Fit trains like nn.Trainer.Fit but through the guarded step. Epoch losses
+// average only finite step losses; Steps counts applied updates.
+func (g *Trainer) Fit(x, y *tensor.Tensor, cfg FitConfig) nn.TrainStats {
+	n := x.Dim(0)
+	bs := cfg.BatchSize
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var stats nn.TrainStats
+	flopsPerStep := 3 * g.Inner.Net.FLOPs(bs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		g.Inner.RNG.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		finiteBatches := 0
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			bx, by := nn.GatherBatch(x, y, perm[start:end])
+			if cfg.Inject != nil {
+				cfg.Inject(g.step, bx, by)
+			}
+			lrFactor := 1.0
+			if cfg.LRSpike != nil {
+				lrFactor = cfg.LRSpike(g.step)
+			}
+			loss, applied := g.StepLR(bx, by, lrFactor)
+			if !math.IsNaN(loss) && !math.IsInf(loss, 0) {
+				epochLoss += loss
+				finiteBatches++
+			}
+			if applied {
+				stats.Steps++
+			}
+			stats.FLOPs += flopsPerStep * int64(end-start) / int64(bs)
+			stats.Examples += int64(end - start)
+		}
+		if finiteBatches > 0 {
+			epochLoss /= float64(finiteBatches)
+		} else {
+			epochLoss = math.NaN()
+		}
+		stats.EpochLoss = append(stats.EpochLoss, epochLoss)
+	}
+	return stats
+}

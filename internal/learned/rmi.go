@@ -38,6 +38,14 @@ func fitLinear(xs, ys []float64) linearModel {
 
 func (m linearModel) predict(x float64) float64 { return m.A*x + m.B }
 
+// finite reports whether both coefficients are usable numbers. A corrupted
+// model (bit flip at rest, poisoned retrain) typically surfaces as NaN/Inf
+// here, and int(NaN) is platform-defined in Go — so every prediction that
+// feeds an array index must pass through this gate first.
+func (m linearModel) finite() bool {
+	return !math.IsNaN(m.A) && !math.IsInf(m.A, 0) && !math.IsNaN(m.B) && !math.IsInf(m.B, 0)
+}
+
 // RMI is a two-level recursive model index over a sorted key array: a root
 // linear model routes each key to one of L second-level linear models, each
 // predicting the key's array position with recorded error bounds. Lookups
@@ -118,9 +126,25 @@ func (r *RMI) route(key float64) int {
 // Lookup finds key's position in the sorted array it was built over. The
 // array must be passed in (the index stores only models). Returns the
 // position and whether the key is present.
+//
+// Lookup is hardened against a corrupted index: a non-finite root or leaf
+// model, an inverted error window (errLo > errHi), or a prediction window
+// that clamps to empty all degrade to a full binary search over the array.
+// A damaged learned index therefore loses only its speedup, never its
+// correctness.
 func (r *RMI) Lookup(keys []uint64, key uint64) (int, bool) {
+	if !r.root.finite() {
+		return fullSearch(keys, key)
+	}
 	leaf := r.leaves[r.route(float64(key))]
-	pred := int(math.Round(leaf.model.predict(float64(key))))
+	if !leaf.model.finite() || leaf.errLo > leaf.errHi {
+		return fullSearch(keys, key)
+	}
+	p := leaf.model.predict(float64(key))
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		return fullSearch(keys, key)
+	}
+	pred := int(math.Round(p))
 	lo := pred + leaf.errLo
 	hi := pred + leaf.errHi + 1
 	if lo < 0 {
@@ -130,12 +154,24 @@ func (r *RMI) Lookup(keys []uint64, key uint64) (int, bool) {
 		hi = len(keys)
 	}
 	if lo >= hi {
-		return 0, false
+		// The clamped window is empty: the model predicted far outside the
+		// array, which a healthy leaf's recorded error bounds never do.
+		return fullSearch(keys, key)
 	}
 	w := keys[lo:hi]
 	i := sort.Search(len(w), func(i int) bool { return w[i] >= key })
 	if i < len(w) && w[i] == key {
 		return lo + i, true
+	}
+	return 0, false
+}
+
+// fullSearch is the corruption fallback: a plain binary search over the
+// whole array, correct regardless of index state.
+func fullSearch(keys []uint64, key uint64) (int, bool) {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+	if i < len(keys) && keys[i] == key {
+		return i, true
 	}
 	return 0, false
 }

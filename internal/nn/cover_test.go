@@ -19,7 +19,7 @@ func TestLayerInterfaceSurface(t *testing.T) {
 		NewSigmoid("s"),
 		NewTanh("t"),
 		NewBatchNorm("bn", 8),
-		NewDropout(rng, "do", 0.1),
+		mustDropout(NewDropout(rng, "do", 0.1)),
 		NewConv2D(rng, "c", g, 3),
 		NewMaxPool2D("p", 2, 6, 6, 2),
 		NewFlatten("f"),
@@ -100,17 +100,18 @@ func TestDenseMaskAccessorAndBadMask(t *testing.T) {
 		t.Fatal("fresh layer should have no mask")
 	}
 	m := tensor.Full(1, 3, 3)
-	d.SetMask(m)
+	if err := d.SetMask(m); err != nil {
+		t.Fatalf("SetMask: %v", err)
+	}
 	if d.Mask() != m {
 		t.Fatal("mask accessor broken")
 	}
-	d.SetMask(nil) // clearing is allowed
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on bad mask shape")
-		}
-	}()
-	d.SetMask(tensor.Full(1, 2, 2))
+	if err := d.SetMask(nil); err != nil { // clearing is allowed
+		t.Fatalf("SetMask(nil): %v", err)
+	}
+	if err := d.SetMask(tensor.Full(1, 2, 2)); err == nil {
+		t.Fatal("expected error on bad mask shape")
+	}
 }
 
 func TestBackwardWithoutForwardPanics(t *testing.T) {
@@ -145,14 +146,57 @@ func TestSetParamVectorLengthMismatchPanics(t *testing.T) {
 	net.SetParamVector(make([]float64, 3))
 }
 
-func TestDropoutBadRatePanics(t *testing.T) {
+func TestDropoutBadRate(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
+	if _, err := NewDropout(rng, "do", 1.0); err == nil {
+		t.Fatal("expected error for rate 1.0")
+	}
+	if _, err := NewDropout(rng, "do", -0.1); err == nil {
+		t.Fatal("expected error for negative rate")
+	}
+}
+
+func TestMLPConfigValidate(t *testing.T) {
+	bad := []MLPConfig{
+		{In: 0, Out: 2},
+		{In: 2, Out: 0},
+		{In: 2, Hidden: []int{4, 0}, Out: 2},
+		{In: 2, Out: 2, Dropout: 1},
+		{In: 2, Out: 2, Dropout: -0.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d should fail validation: %+v", i, cfg)
+		}
+		if _, err := NewMLPChecked(rand.New(rand.NewSource(1)), cfg); err == nil {
+			t.Fatalf("NewMLPChecked should reject config %d", i)
+		}
+	}
+	good := MLPConfig{In: 3, Hidden: []int{8}, Out: 2, Dropout: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	net, err := NewMLPChecked(rand.New(rand.NewSource(1)), good)
+	if err != nil || net == nil {
+		t.Fatalf("NewMLPChecked: %v", err)
+	}
+}
+
+func TestNewMLPPanicsOnInvalidConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewDropout(rng, "do", 1.0)
+	NewMLP(rand.New(rand.NewSource(1)), MLPConfig{In: 0, Out: 2})
+}
+
+// mustDropout unwraps NewDropout in tests where the rate is known-valid.
+func mustDropout(d *Dropout, err error) *Dropout {
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 func TestTrainStatsFinalLossEmpty(t *testing.T) {

@@ -51,12 +51,14 @@ func (d *Dense) Out() int { return d.W.Value.Dim(1) }
 
 // SetMask installs (or clears, with nil) a 0/1 pruning mask with W's shape.
 // The mask is applied immediately and on every subsequent forward/backward.
-func (d *Dense) SetMask(m *tensor.Tensor) {
+// A mask of the wrong shape is rejected with an error.
+func (d *Dense) SetMask(m *tensor.Tensor) error {
 	if m != nil && !m.SameShape(d.W.Value) {
-		panic(fmt.Sprintf("nn: mask shape %v != weight shape %v", m.Shape(), d.W.Value.Shape()))
+		return fmt.Errorf("nn: mask shape %v != weight shape %v", m.Shape(), d.W.Value.Shape())
 	}
 	d.mask = m
 	d.applyMask()
+	return nil
 }
 
 // Mask returns the current pruning mask, or nil.

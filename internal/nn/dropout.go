@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"dlsys/internal/tensor"
@@ -17,11 +18,13 @@ type Dropout struct {
 }
 
 // NewDropout creates a dropout layer with the given drop rate in [0, 1).
-func NewDropout(rng *rand.Rand, name string, rate float64) *Dropout {
+// An out-of-range rate is a construction error, not a panic: callers
+// building networks from untrusted specs surface it instead of crashing.
+func NewDropout(rng *rand.Rand, name string, rate float64) (*Dropout, error) {
 	if rate < 0 || rate >= 1 {
-		panic("nn: dropout rate must be in [0, 1)")
+		return nil, fmt.Errorf("nn: dropout rate %g out of [0, 1)", rate)
 	}
-	return &Dropout{name: name, Rate: rate, rng: rng}
+	return &Dropout{name: name, Rate: rate, rng: rng}, nil
 }
 
 // Name implements Layer.

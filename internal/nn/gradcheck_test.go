@@ -91,7 +91,9 @@ func TestDenseMaskedGradients(t *testing.T) {
 			mask.Data[i] = 1
 		}
 	}
-	layer.SetMask(mask)
+	if err := layer.SetMask(mask); err != nil {
+		t.Fatalf("SetMask: %v", err)
+	}
 	x := tensor.RandNormal(rng, 0, 1, 5, 4)
 	checkLayerGradients(t, layer, x, 1e-5)
 }

@@ -25,10 +25,46 @@ type MLPConfig struct {
 	BatchNm bool
 }
 
+// Validate checks the config describes a constructible network: positive
+// widths everywhere and a dropout rate in [0, 1). Callers that accept
+// configs from untrusted input (distributed specs, pipelines) validate at
+// construction so no layer constructor can fail downstream.
+func (cfg MLPConfig) Validate() error {
+	if cfg.In < 1 {
+		return fmt.Errorf("nn: MLP input width %d < 1", cfg.In)
+	}
+	if cfg.Out < 1 {
+		return fmt.Errorf("nn: MLP output width %d < 1", cfg.Out)
+	}
+	for i, h := range cfg.Hidden {
+		if h < 1 {
+			return fmt.Errorf("nn: MLP hidden width %d (layer %d) < 1", h, i)
+		}
+	}
+	if cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return fmt.Errorf("nn: MLP dropout rate %g out of [0, 1)", cfg.Dropout)
+	}
+	return nil
+}
+
 // NewMLP builds a ReLU MLP per the config. Layer names are deterministic
 // ("fc0", "relu0", ...) so state dictionaries are portable between
-// identically-configured networks.
+// identically-configured networks. Invalid configs panic; use
+// NewMLPChecked when the config comes from untrusted input.
 func NewMLP(rng *rand.Rand, cfg MLPConfig) *Network {
+	net, err := NewMLPChecked(rng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// NewMLPChecked is NewMLP returning the config-validation error instead of
+// panicking.
+func NewMLPChecked(rng *rand.Rand, cfg MLPConfig) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	var layers []Layer
 	prev := cfg.In
 	for i, h := range cfg.Hidden {
@@ -38,12 +74,14 @@ func NewMLP(rng *rand.Rand, cfg MLPConfig) *Network {
 		}
 		layers = append(layers, NewReLU(fmt.Sprintf("relu%d", i)))
 		if cfg.Dropout > 0 {
-			layers = append(layers, NewDropout(rng, fmt.Sprintf("drop%d", i), cfg.Dropout))
+			// The validated rate cannot make NewDropout fail.
+			drop, _ := NewDropout(rng, fmt.Sprintf("drop%d", i), cfg.Dropout)
+			layers = append(layers, drop)
 		}
 		prev = h
 	}
 	layers = append(layers, NewDense(rng, fmt.Sprintf("fc%d", len(cfg.Hidden)), prev, cfg.Out))
-	return NewNetwork(layers...)
+	return NewNetwork(layers...), nil
 }
 
 // Forward runs the network on a batch, returning the final output (logits

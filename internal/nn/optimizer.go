@@ -12,6 +12,14 @@ type Optimizer interface {
 	LR() float64
 }
 
+// StateResetter is implemented by optimizers that carry per-parameter state
+// (momentum velocity, Adam moments). Checkpoint rollback calls ResetState so
+// stale state accumulated from diverging steps cannot re-poison the restored
+// parameters.
+type StateResetter interface {
+	ResetState()
+}
+
 // SGD is plain stochastic gradient descent with optional L2 weight decay.
 type SGD struct {
 	lr          float64
@@ -65,6 +73,9 @@ func (o *Momentum) Step(params []*Param) {
 	}
 }
 
+// ResetState implements StateResetter: it discards all velocity.
+func (o *Momentum) ResetState() { o.velocity = make(map[*Param][]float64) }
+
 // SetLR implements Optimizer.
 func (o *Momentum) SetLR(lr float64) { o.lr = lr }
 
@@ -110,6 +121,14 @@ func (o *Adam) Step(params []*Param) {
 			p.Value.Data[i] -= o.lr * mhat / (math.Sqrt(vhat) + o.Eps)
 		}
 	}
+}
+
+// ResetState implements StateResetter: it discards both moment estimates and
+// the bias-correction step count.
+func (o *Adam) ResetState() {
+	o.t = 0
+	o.m = make(map[*Param][]float64)
+	o.v = make(map[*Param][]float64)
 }
 
 // SetLR implements Optimizer.

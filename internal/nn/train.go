@@ -104,6 +104,15 @@ func (t *Trainer) Step(bx, by *tensor.Tensor) float64 {
 	return loss
 }
 
+// ApplyUpdate applies the optimizer to the gradients currently accumulated
+// on the network and restores layer invariants. Supervised training loops
+// (guard.Trainer) split Step into ComputeGrad + ApplyUpdate so they can
+// inspect — and possibly discard — gradients before they touch parameters.
+func (t *Trainer) ApplyUpdate() {
+	t.Opt.Step(t.Net.Params())
+	t.Net.PostStep()
+}
+
 // ComputeGrad runs one forward/backward on a batch without updating
 // parameters, leaving gradients accumulated on the network. Distributed
 // training uses this to obtain per-worker gradients. Returns the loss.

@@ -174,7 +174,10 @@ func TestFLOPsAndBytesAccounting(t *testing.T) {
 
 func TestDropoutTrainVsEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	d := NewDropout(rng, "drop", 0.5)
+	d, err := NewDropout(rng, "drop", 0.5)
+	if err != nil {
+		t.Fatalf("NewDropout: %v", err)
+	}
 	x := tensor.Full(1, 100, 10)
 	outTrain := d.Forward(x, true)
 	zeros := 0

@@ -23,9 +23,11 @@ import (
 	"dlsys/internal/distill"
 	"dlsys/internal/fault"
 	"dlsys/internal/green"
+	"dlsys/internal/guard"
 	"dlsys/internal/nn"
 	"dlsys/internal/prune"
 	"dlsys/internal/quant"
+	"dlsys/internal/tensor"
 )
 
 // Spec declares a pipeline. Zero values mean "skip that stage".
@@ -57,6 +59,18 @@ type Spec struct {
 	// FaultSeed seeds stage-failure injection (default: Seed).
 	FaultSeed int64
 
+	// SelfHeal wraps the training stage in the self-healing guard
+	// (internal/guard, Enforce mode): poisoned batches are skipped,
+	// divergence triggers LR backoff, and repeated faults roll the model
+	// back to the last healthy checkpoint. Incidents are surfaced in the
+	// ledger.
+	SelfHeal bool
+	// NumericalFaultRate injects numerical faults (poisoned batches,
+	// label-noise bursts, LR spikes at fault.NumericalRate proportions)
+	// into the training stage. Without SelfHeal the faults are observed
+	// but not remediated.
+	NumericalFaultRate float64
+
 	// Deployment target for time/energy estimates
 	Device device.Profile // zero → device.GPUSmall
 	Region green.Region   // zero → green.MixedUS
@@ -73,6 +87,10 @@ type Ledger struct {
 	InferenceUs    float64
 	Stages         []string // human-readable trace of what ran
 	Degraded       []string // optional stages that failed and fell back
+
+	// Self-healing trace (zero when the guard is not engaged).
+	Incidents int // numerical-fault incidents detected during training
+	Rollbacks int // checkpoint rollbacks performed during training
 }
 
 // String renders the ledger as one comparison row.
@@ -82,6 +100,9 @@ func (l Ledger) String() string {
 		l.ModelBytes, l.InferenceFLOPs, l.InferenceUs, l.Stages)
 	if len(l.Degraded) > 0 {
 		s += fmt.Sprintf(" degraded=%v", l.Degraded)
+	}
+	if l.Incidents > 0 {
+		s += fmt.Sprintf(" incidents=%d rollbacks=%d", l.Incidents, l.Rollbacks)
 	}
 	return s
 }
@@ -144,6 +165,9 @@ func (s *Spec) validate() error {
 	if s.FaultRate < 0 || s.FaultRate > 1 {
 		return fmt.Errorf("pipeline: fault rate %g out of [0,1]", s.FaultRate)
 	}
+	if s.NumericalFaultRate < 0 || s.NumericalFaultRate > 1 {
+		return fmt.Errorf("pipeline: numerical fault rate %g out of [0,1]", s.NumericalFaultRate)
+	}
 	return nil
 }
 
@@ -192,11 +216,49 @@ func Run(spec Spec) (Ledger, error) {
 
 	var ledger Ledger
 	cfg := nn.MLPConfig{In: spec.Features, Hidden: spec.Hidden, Out: spec.Classes}
-	net := nn.NewMLP(rng, cfg)
+	net, err := nn.NewMLPChecked(rng, cfg)
+	if err != nil {
+		return Ledger{}, fmt.Errorf("pipeline: %w", err)
+	}
 	tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(spec.LR), rng)
-	stats := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs, BatchSize: spec.BatchSize})
-	ledger.TrainFLOPs += stats.FLOPs
-	ledger.Stages = append(ledger.Stages, fmt.Sprintf("train(%v,%dep)", spec.Hidden, spec.Epochs))
+	if spec.SelfHeal || spec.NumericalFaultRate > 0 {
+		// Guarded training stage: detection always runs; remediation only
+		// under SelfHeal. This keeps the guarded/unguarded comparison on an
+		// identical data and injection path.
+		mode := guard.Observe
+		if spec.SelfHeal {
+			mode = guard.Enforce
+		}
+		g := guard.New(tr, guard.Policy{Mode: mode, Schema: guard.NewBatchSchema(train.X, 6)})
+		var ninj *fault.Injector
+		if spec.NumericalFaultRate > 0 {
+			ninj = fault.NewInjector(fault.NumericalRate(spec.FaultSeed, spec.NumericalFaultRate))
+		}
+		stats := g.Fit(train.X, y, guard.FitConfig{
+			Epochs: spec.Epochs, BatchSize: spec.BatchSize,
+			Inject: func(step int, bx, by *tensor.Tensor) {
+				if ninj.CorruptsBatch(0, step) {
+					ninj.CorruptBatchValues(bx.Data, 0, step)
+				}
+				if ninj.LabelNoise(0, step) {
+					ninj.ShuffleLabels(by.Data, by.Dim(0), by.Dim(1), 0, step)
+				}
+			},
+			LRSpike: func(step int) float64 { return ninj.LRSpikeFactor(0, step) },
+		})
+		ledger.TrainFLOPs += stats.FLOPs
+		ledger.Incidents = g.Ledger().Len()
+		ledger.Rollbacks = g.Ledger().Rollbacks
+		name := "train-guarded"
+		if !spec.SelfHeal {
+			name = "train-observed"
+		}
+		ledger.Stages = append(ledger.Stages, fmt.Sprintf("%s(%v,%dep)", name, spec.Hidden, spec.Epochs))
+	} else {
+		stats := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs, BatchSize: spec.BatchSize})
+		ledger.TrainFLOPs += stats.FLOPs
+		ledger.Stages = append(ledger.Stages, fmt.Sprintf("train(%v,%dep)", spec.Hidden, spec.Epochs))
+	}
 
 	if spec.PruneSparsity > 0 {
 		// Keep a CRC-checked snapshot so a failed prune restores the dense
@@ -303,7 +365,7 @@ func Run(spec Spec) (Ledger, error) {
 func clearMasks(net *nn.Network) {
 	for _, l := range net.Layers {
 		if d, ok := l.(*nn.Dense); ok {
-			d.SetMask(nil)
+			_ = d.SetMask(nil) // clearing a mask cannot fail
 		}
 	}
 }

@@ -95,7 +95,9 @@ func GlobalPrune(rng *rand.Rand, net *nn.Network, sparsity float64, crit Criteri
 		for _, i := range order[:int(sparsity*float64(n))] {
 			mask.Data[i] = 0
 		}
-		d.SetMask(mask)
+		if err := d.SetMask(mask); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -103,7 +105,7 @@ func GlobalPrune(rng *rand.Rand, net *nn.Network, sparsity float64, crit Criteri
 // PruneUnits performs structured pruning: it removes (masks entire columns
 // for) the lowest-L2-norm output units of the given Dense layer, the
 // MLP analogue of filter-level CNN pruning. Returns the indices pruned.
-func PruneUnits(d *nn.Dense, fraction float64) []int {
+func PruneUnits(d *nn.Dense, fraction float64) ([]int, error) {
 	in, out := d.In(), d.Out()
 	norms := make([]float64, out)
 	for j := 0; j < out; j++ {
@@ -130,8 +132,10 @@ func PruneUnits(d *nn.Dense, fraction float64) []int {
 			mask.Data[i*out+j] = 0
 		}
 	}
-	d.SetMask(mask)
-	return pruned
+	if err := d.SetMask(mask); err != nil {
+		return nil, err
+	}
+	return pruned, nil
 }
 
 // IterativeConfig controls prune-and-retrain scheduling.

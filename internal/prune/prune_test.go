@@ -126,7 +126,10 @@ func TestPruneUnitsStructured(t *testing.T) {
 			break
 		}
 	}
-	pruned := PruneUnits(hidden, 0.25)
+	pruned, err := PruneUnits(hidden, 0.25)
+	if err != nil {
+		t.Fatalf("PruneUnits: %v", err)
+	}
 	if len(pruned) != hidden.Out()/4 {
 		t.Fatalf("pruned %d units, want %d", len(pruned), hidden.Out()/4)
 	}

@@ -1,7 +1,5 @@
 package tensor
 
-import "fmt"
-
 // ConvGeom describes the geometry of a 2-D convolution over NCHW tensors.
 type ConvGeom struct {
 	InC, InH, InW int // input channels, height, width
@@ -16,17 +14,24 @@ func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
 // OutW returns the output width of the convolution.
 func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
 
+// CheckInput returns a typed error when in is not an NCHW batch matching
+// the geometry — the validated-at-construction gate Im2Col relies on.
+func (g ConvGeom) CheckInput(in *Tensor) error {
+	if in.Rank() != 4 {
+		return errf("Im2Col", "requires rank-4 input, got %v", in.shape)
+	}
+	if in.shape[1] != g.InC || in.shape[2] != g.InH || in.shape[3] != g.InW {
+		return errf("Im2Col", "input %v does not match geometry %+v", in.shape, g)
+	}
+	return nil
+}
+
 // Im2Col lowers a batch of NCHW images to a matrix so convolution becomes a
 // matrix multiplication. The input must have shape [N, C, H, W]; the result
 // has shape [N*OutH*OutW, C*KH*KW], one row per output spatial position.
 func Im2Col(in *Tensor, g ConvGeom) *Tensor {
-	if in.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: Im2Col requires rank-4 input, got %v", in.shape))
-	}
+	must(g.CheckInput(in))
 	n := in.shape[0]
-	if in.shape[1] != g.InC || in.shape[2] != g.InH || in.shape[3] != g.InW {
-		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", in.shape, g))
-	}
 	oh, ow := g.OutH(), g.OutW()
 	cols := New(n*oh*ow, g.InC*g.KH*g.KW)
 	rowLen := g.InC * g.KH * g.KW
@@ -66,7 +71,7 @@ func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	rowLen := g.InC * g.KH * g.KW
 	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
-		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v (n=%d)", cols.shape, g, n))
+		panic(errf("Col2Im", "input %v does not match geometry %+v (n=%d)", cols.shape, g, n))
 	}
 	out := New(n, g.InC, g.InH, g.InW)
 	for b := 0; b < n; b++ {

@@ -1,0 +1,73 @@
+package tensor
+
+import "fmt"
+
+// Error is the typed value every tensor invariant violation carries. The
+// package's algebra keeps its panicking API for programming errors (shape
+// mismatches are bugs, like out-of-range slice indexing), but the panic
+// value is now always a *tensor.Error, so API boundaries that must survive
+// corrupted or adversarial inputs — the pipeline's stage runner, the
+// training guard — can convert it into a returned error with Guard or
+// AsError instead of crashing the process. Fallible entry points that
+// commonly receive untrusted data additionally have Checked variants
+// returning errors directly.
+type Error struct {
+	Op  string // the operation that failed, e.g. "MatMul"
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "tensor: " + e.Op + ": " + e.Msg }
+
+// errf builds a typed tensor error.
+func errf(op, format string, args ...any) *Error {
+	return &Error{Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// must panics with the typed error when err is non-nil.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// mustT returns t, panicking with the typed error when err is non-nil.
+func mustT(t *Tensor, err error) *Tensor {
+	must(err)
+	return t
+}
+
+// checkSameShape returns a typed error when t and u differ in shape.
+func checkSameShape(op string, t, u *Tensor) error {
+	if !t.SameShape(u) {
+		return errf(op, "shape mismatch %v vs %v", t.shape, u.shape)
+	}
+	return nil
+}
+
+// AsError converts a recovered panic value from a tensor operation into an
+// error. Non-tensor panic values are re-raised: only invariant violations
+// this package itself detected are safe to translate.
+func AsError(recovered any) error {
+	if recovered == nil {
+		return nil
+	}
+	if te, ok := recovered.(*Error); ok {
+		return te
+	}
+	panic(recovered)
+}
+
+// Guard converts a tensor invariant panic into a returned error:
+//
+//	func f(...) (err error) {
+//	    defer tensor.Guard(&err)
+//	    ... tensor algebra on untrusted shapes ...
+//	}
+//
+// Panics that did not originate from a tensor invariant propagate.
+func Guard(err *error) {
+	if r := recover(); r != nil {
+		*err = AsError(r)
+	}
+}

@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // Add returns t + u element-wise. Shapes must match.
 func Add(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a + b }) }
@@ -18,9 +15,7 @@ func Mul(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 
 func Div(t, u *Tensor) *Tensor { return zipNew(t, u, func(a, b float64) float64 { return a / b }) }
 
 func zipNew(t, u *Tensor, f func(a, b float64) float64) *Tensor {
-	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
-	}
+	must(checkSameShape("zip", t, u))
 	out := New(t.shape...)
 	for i := range t.Data {
 		out.Data[i] = f(t.Data[i], u.Data[i])
@@ -30,9 +25,7 @@ func zipNew(t, u *Tensor, f func(a, b float64) float64) *Tensor {
 
 // AddInPlace adds u into t element-wise.
 func (t *Tensor) AddInPlace(u *Tensor) {
-	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
-	}
+	must(checkSameShape("AddInPlace", t, u))
 	for i := range t.Data {
 		t.Data[i] += u.Data[i]
 	}
@@ -40,9 +33,7 @@ func (t *Tensor) AddInPlace(u *Tensor) {
 
 // AxpyInPlace computes t += alpha*u element-wise.
 func (t *Tensor) AxpyInPlace(alpha float64, u *Tensor) {
-	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, u.shape))
-	}
+	must(checkSameShape("AxpyInPlace", t, u))
 	for i := range t.Data {
 		t.Data[i] += alpha * u.Data[i]
 	}
@@ -87,24 +78,28 @@ func (t *Tensor) ApplyInPlace(f func(float64) float64) {
 // amortise goroutine overhead are partitioned across CPUs by output row —
 // the partitioning is deterministic, so results are bit-identical to the
 // serial path.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul(a, b *Tensor) *Tensor { return mustT(MatMulChecked(a, b)) }
+
+// MatMulChecked is MatMul returning an error instead of panicking on a
+// shape mismatch.
+func MatMulChecked(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+		return nil, errf("MatMul", "requires rank-2 operands, got %v and %v", a.shape, b.shape)
 	}
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+		return nil, errf("MatMul", "inner dimension mismatch %v · %v", a.shape, b.shape)
 	}
 	out := New(m, n)
 	if int64(m)*int64(n)*int64(k) >= parallelFLOPThreshold && m >= 2 {
 		parallelRows(m, func(lo, hi int) {
 			matMulRows(a, b, out, lo, hi)
 		})
-		return out
+		return out, nil
 	}
 	matMulRows(a, b, out, 0, m)
-	return out
+	return out, nil
 }
 
 // matMulRows computes output rows [lo, hi) of a·b into out.
@@ -128,14 +123,18 @@ func matMulRows(a, b, out *Tensor, lo, hi int) {
 
 // MatMulTransB returns a · bᵀ for rank-2 tensors: (m×k)·(n×k)ᵀ → m×n.
 // Used by backward passes to avoid materialising transposes.
-func MatMulTransB(a, b *Tensor) *Tensor {
+func MatMulTransB(a, b *Tensor) *Tensor { return mustT(MatMulTransBChecked(a, b)) }
+
+// MatMulTransBChecked is MatMulTransB returning an error instead of
+// panicking on a shape mismatch.
+func MatMulTransBChecked(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransB requires rank-2 operands")
+		return nil, errf("MatMulTransB", "requires rank-2 operands, got %v and %v", a.shape, b.shape)
 	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %vᵀ", a.shape, b.shape))
+		return nil, errf("MatMulTransB", "inner dimension mismatch %v · %vᵀ", a.shape, b.shape)
 	}
 	out := New(m, n)
 	for i := 0; i < m; i++ {
@@ -150,18 +149,22 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
+	return out, nil
 }
 
 // MatMulTransA returns aᵀ · b for rank-2 tensors: (k×m)ᵀ·(k×n) → m×n.
-func MatMulTransA(a, b *Tensor) *Tensor {
+func MatMulTransA(a, b *Tensor) *Tensor { return mustT(MatMulTransAChecked(a, b)) }
+
+// MatMulTransAChecked is MatMulTransA returning an error instead of
+// panicking on a shape mismatch.
+func MatMulTransAChecked(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransA requires rank-2 operands")
+		return nil, errf("MatMulTransA", "requires rank-2 operands, got %v and %v", a.shape, b.shape)
 	}
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ · %v", a.shape, b.shape))
+		return nil, errf("MatMulTransA", "inner dimension mismatch %vᵀ · %v", a.shape, b.shape)
 	}
 	out := New(m, n)
 	for p := 0; p < k; p++ {
@@ -178,13 +181,13 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
-		panic("tensor: Transpose requires rank 2")
+		panic(errf("Transpose", "requires rank 2, got %v", t.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(n, m)
@@ -216,7 +219,7 @@ func (t *Tensor) Mean() float64 {
 // Max returns the largest element. It panics on an empty tensor.
 func (t *Tensor) Max() float64 {
 	if len(t.Data) == 0 {
-		panic("tensor: Max of empty tensor")
+		panic(errf("Max", "empty tensor"))
 	}
 	m := t.Data[0]
 	for _, v := range t.Data[1:] {
@@ -230,7 +233,7 @@ func (t *Tensor) Max() float64 {
 // Min returns the smallest element. It panics on an empty tensor.
 func (t *Tensor) Min() float64 {
 	if len(t.Data) == 0 {
-		panic("tensor: Min of empty tensor")
+		panic(errf("Min", "empty tensor"))
 	}
 	m := t.Data[0]
 	for _, v := range t.Data[1:] {
@@ -278,7 +281,7 @@ func (t *Tensor) ArgMaxRow(i int) int {
 // where out[j] = Σ_i t[i,j]. Used for bias gradients.
 func SumRows(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
-		panic("tensor: SumRows requires rank 2")
+		panic(errf("SumRows", "requires rank 2, got %v", t.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(1, n)
@@ -295,7 +298,7 @@ func SumRows(t *Tensor) *Tensor {
 // returning a new tensor (broadcast over the leading axis).
 func AddRowVector(t, v *Tensor) *Tensor {
 	if t.Rank() != 2 || v.Rank() != 2 || v.shape[0] != 1 || v.shape[1] != t.shape[1] {
-		panic(fmt.Sprintf("tensor: AddRowVector shapes %v, %v", t.shape, v.shape))
+		panic(errf("AddRowVector", "shapes %v, %v", t.shape, v.shape))
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(m, n)

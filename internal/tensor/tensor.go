@@ -24,21 +24,40 @@ type Tensor struct {
 	Data []float64
 }
 
-// New returns a zero-filled tensor with the given shape. It panics if any
-// dimension is negative or the shape is empty.
+// New returns a zero-filled tensor with the given shape. It panics (with a
+// typed *Error) if any dimension is negative or the shape is empty.
 func New(shape ...int) *Tensor {
-	n := checkShape(shape)
+	n, err := checkShape(shape)
+	must(err)
 	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// NewChecked is New returning an error instead of panicking, for shapes
+// that come from untrusted input.
+func NewChecked(shape ...int) (*Tensor, error) {
+	n, err := checkShape(shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}, nil
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); it panics if len(data) does not match the shape.
 func FromSlice(data []float64, shape ...int) *Tensor {
-	n := checkShape(shape)
-	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	return mustT(FromSliceChecked(data, shape...))
+}
+
+// FromSliceChecked is FromSlice returning an error instead of panicking.
+func FromSliceChecked(data []float64, shape ...int) (*Tensor, error) {
+	n, err := checkShape(shape)
+	if err != nil {
+		return nil, err
 	}
-	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+	if len(data) != n {
+		return nil, errf("FromSlice", "data length %d does not match shape %v (need %d)", len(data), shape, n)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}, nil
 }
 
 // Full returns a tensor of the given shape with every element set to v.
@@ -50,18 +69,18 @@ func Full(v float64, shape ...int) *Tensor {
 	return t
 }
 
-func checkShape(shape []int) int {
+func checkShape(shape []int) (int, error) {
 	if len(shape) == 0 {
-		panic("tensor: empty shape")
+		return 0, errf("New", "empty shape")
 	}
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			return 0, errf("New", "negative dimension in shape %v", shape)
 		}
 		n *= d
 	}
-	return n
+	return n, nil
 }
 
 // Shape returns the tensor's dimensions. The returned slice must not be
@@ -93,12 +112,12 @@ func (t *Tensor) SameShape(u *Tensor) bool {
 // offset computes the flat index for the given multi-axis index.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: index %v does not match rank %d", idx, len(t.shape)))
+		panic(errf("At", "index %v does not match rank %d", idx, len(t.shape)))
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+			panic(errf("At", "index %v out of bounds for shape %v", idx, t.shape))
 		}
 		off = off*t.shape[i] + x
 	}
@@ -121,13 +140,18 @@ func (t *Tensor) Clone() *Tensor {
 // Reshape returns a tensor sharing t's data with a new shape of the same
 // total size. One dimension may be -1, in which case it is inferred.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return mustT(t.ReshapeChecked(shape...))
+}
+
+// ReshapeChecked is Reshape returning an error instead of panicking.
+func (t *Tensor) ReshapeChecked(shape ...int) (*Tensor, error) {
 	out := append([]int(nil), shape...)
 	infer := -1
 	known := 1
 	for i, d := range out {
 		if d == -1 {
 			if infer >= 0 {
-				panic("tensor: at most one -1 dimension in Reshape")
+				return nil, errf("Reshape", "at most one -1 dimension")
 			}
 			infer = i
 		} else {
@@ -136,20 +160,22 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	if infer >= 0 {
 		if known == 0 || len(t.Data)%known != 0 {
-			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+			return nil, errf("Reshape", "cannot infer dimension reshaping %v to %v", t.shape, shape)
 		}
 		out[infer] = len(t.Data) / known
 	}
-	if checkShape(out) != len(t.Data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v", t.shape, len(t.Data), shape))
+	if n, err := checkShape(out); err != nil {
+		return nil, err
+	} else if n != len(t.Data) {
+		return nil, errf("Reshape", "cannot reshape %v (size %d) to %v", t.shape, len(t.Data), shape)
 	}
-	return &Tensor{shape: out, Data: t.Data}
+	return &Tensor{shape: out, Data: t.Data}, nil
 }
 
 // Row returns a view of row i of a rank-2 tensor as a slice.
 func (t *Tensor) Row(i int) []float64 {
 	if len(t.shape) != 2 {
-		panic("tensor: Row requires rank 2")
+		panic(errf("Row", "requires rank 2, got %v", t.shape))
 	}
 	c := t.shape[1]
 	return t.Data[i*c : (i+1)*c]
@@ -157,9 +183,7 @@ func (t *Tensor) Row(i int) []float64 {
 
 // CopyFrom copies u's data into t. Shapes must match exactly.
 func (t *Tensor) CopyFrom(u *Tensor) {
-	if !t.SameShape(u) {
-		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, u.shape))
-	}
+	must(checkSameShape("CopyFrom", t, u))
 	copy(t.Data, u.Data)
 }
 
