@@ -58,7 +58,7 @@ type Experiment = core.Experiment
 type Technique = core.Technique
 
 // Experiments returns all registered experiments: the claim reproductions
-// E1..E32, then the ablations A1..A9, then the extensions X1..X7.
+// E1..E32, then the ablations A1..A9, then the extensions X1..X8.
 func Experiments() []Experiment { return core.All() }
 
 // ClaimExperiments returns only E1..E32, the tutorial-claim reproductions.
@@ -67,7 +67,7 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X7: cited systems implemented
+// ExtensionExperiments returns only X1..X8: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
@@ -97,7 +97,7 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X7)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X8)", id)
 	}
 	scale := core.Quick
 	if full {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestX8ObservabilityClaims pins the three X8 acceptance criteria: every
+// instrumented scenario replays with bit-identical metric and trace
+// fingerprints, every counter reconciles exactly with its subsystem's own
+// ledger, and instrumentation overhead stays under 5% on the
+// compute-dominated experiment paths. Fingerprint and reconciliation checks
+// are deterministic and asserted on every attempt; the overhead column is a
+// wall-clock measurement, so a row only needs to land under the bound on one
+// of a few attempts to absorb scheduler noise.
+func TestX8ObservabilityClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X8 replay skipped in -short mode")
+	}
+	e, ok := Get("X8")
+	if !ok {
+		t.Fatal("X8 not registered")
+	}
+
+	const (
+		attempts      = 3
+		overheadBound = 5.0 // percent, per the X8 claim
+	)
+	overheadOK := map[string]bool{}
+	var scenarios []string
+	for attempt := 0; attempt < attempts; attempt++ {
+		tab := e.Run(Quick)
+		if attempt == 0 {
+			t.Log("\n" + tab.Render())
+		}
+		col := map[string]int{}
+		for i, c := range tab.Columns {
+			col[c] = i
+		}
+		if len(tab.Rows) != 5 {
+			t.Fatalf("X8 produced %d rows, want 5 scenarios", len(tab.Rows))
+		}
+		allUnder := true
+		for _, row := range tab.Rows {
+			name := row[col["scenario"]]
+			if attempt == 0 {
+				scenarios = append(scenarios, name)
+			}
+			// Deterministic claims: hold on every single run.
+			if row[col["replay"]] != "yes" {
+				t.Fatalf("%s did not replay bit-identically:\n%s", name, tab.Render())
+			}
+			if row[col["reconciled"]] != "yes" {
+				t.Fatalf("%s counters did not reconcile with the subsystem ledger:\n%s", name, tab.Render())
+			}
+			if spans, err := strconv.Atoi(row[col["spans"]]); err != nil || spans <= 0 {
+				t.Fatalf("%s recorded no spans (%q)", name, row[col["spans"]])
+			}
+			for _, fp := range []string{"metric_fp", "trace_fp"} {
+				v := row[col[fp]]
+				if len(v) != 16 || v == "0000000000000000" {
+					t.Fatalf("%s has an implausible %s %q", name, fp, v)
+				}
+			}
+			// Noisy claim: under the bound on at least one attempt.
+			pct, err := strconv.ParseFloat(row[col["overhead_pct"]], 64)
+			if err != nil {
+				t.Fatalf("%s overhead unparsable: %v", name, err)
+			}
+			if pct < overheadBound {
+				overheadOK[name] = true
+			}
+			if !overheadOK[name] {
+				allUnder = false
+			}
+		}
+		if allUnder {
+			return
+		}
+	}
+	for _, name := range scenarios {
+		if !overheadOK[name] {
+			t.Fatalf("%s overhead stayed at or above %.1f%% across %d attempts", name, overheadBound, attempts)
+		}
+	}
+}
+
+// TestExperimentReplayDeterminism runs the fault/serving/self-healing
+// experiments twice in-process and asserts the rendered tables are
+// byte-identical — the regression guard for the determinism the whole
+// observability layer is built on. Any hidden global state, map-order
+// dependence, or wall-clock leakage in these paths shows up here as a diff.
+func TestExperimentReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay sweep skipped in -short mode")
+	}
+	for _, id := range []string{"X5", "X6", "X7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			first := e.Run(Quick).Render()
+			second := e.Run(Quick).Render()
+			if first != second {
+				t.Fatalf("%s is not replay-deterministic:\n--- first ---\n%s\n--- second ---\n%s", id, first, second)
+			}
+		})
+	}
+}

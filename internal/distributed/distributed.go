@@ -31,6 +31,7 @@ import (
 	"dlsys/internal/fault"
 	"dlsys/internal/guard"
 	"dlsys/internal/nn"
+	"dlsys/internal/obs"
 	"dlsys/internal/tensor"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// newest snapshot (Local SGD regime). With guard.Observe the faults
 	// are counted but allowed through — the unguarded baseline.
 	Guard *guard.Policy
+
+	// Obs, when non-nil, receives live metrics (counters mirroring every
+	// Stats field, per-worker step-latency histograms) and sync-round spans
+	// stamped from the simulated clock. Nil disables instrumentation at
+	// near-zero cost.
+	Obs *obs.Handle
 }
 
 // Stats reports what a run cost and how it progressed.
@@ -163,7 +170,9 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 	if prof.Name == "" {
 		prof = device.GPUSmall
 	}
-	net := &transport{inj: inj, prof: prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS}
+	ins := newDistObs(cfg.Obs, cfg.Workers)
+	net := &transport{inj: inj, prof: prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS, obs: ins}
+	trainSpan := ins.span("distributed.train", 0)
 
 	// All workers start from the same initialisation but own independent
 	// RNG streams derived from (seed, workerID), so fault-induced
@@ -187,7 +196,7 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 
 	store := checkpoint.NewStore(2)
 	if inj != nil {
-		takeSnapshot(store, inj, 0, global, &stats)
+		takeSnapshot(store, inj, 0, global, &stats, ins)
 	}
 	modelSize := global.NumParams()
 	flopsPerExample := 3 * global.FLOPs(1) // forward + ~2x backward
@@ -202,21 +211,24 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 		lossSteps := 0
 		for step := 0; step < stepsPerEpoch; step++ {
 			round := epoch*stepsPerEpoch + step
-			active := liveWorkers(workers, inj, store, round, &stats)
+			active := liveWorkers(workers, inj, store, round, &stats, ins)
 			if len(active) == 0 {
 				// Whole cluster down: the round idles away a restart delay.
 				stats.SimSeconds += net.backoffS
 				stats.Steps++
+				ins.steps.Inc()
 				continue
 			}
 			if cfg.AveragePeriod == 1 {
-				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, &stats)
+				roundSpan := trainSpan.Child("sync-round", stats.SimSeconds)
+				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, &stats, roundSpan)
+				roundSpan.End(stats.SimSeconds)
 				if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 					epochLoss += loss
 					lossSteps++
 				}
 				if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
-					takeSnapshot(store, inj, round+1, active[0].net, &stats)
+					takeSnapshot(store, inj, round+1, active[0].net, &stats, ins)
 				}
 			} else {
 				localRound(active, x, y, cfg, net, store, step, round, flopsPerExample, &stats)
@@ -226,13 +238,16 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 				}
 				globalStep := round + 1
 				if globalStep%cfg.AveragePeriod == 0 {
+					roundSpan := trainSpan.Child("avg-round", stats.SimSeconds)
 					averageRound(active, cfg, net, round, modelSize, &stats)
+					roundSpan.End(stats.SimSeconds)
 					if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
-						takeSnapshot(store, inj, round+1, active[0].net, &stats)
+						takeSnapshot(store, inj, round+1, active[0].net, &stats, ins)
 					}
 				}
 			}
 			stats.Steps++
+			ins.steps.Inc()
 		}
 		if lossSteps > 0 {
 			stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(lossSteps))
@@ -255,6 +270,8 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 	}
 	averageParams(final)
 	global.SetParamVector(final[0].net.ParamVector())
+	trainSpan.End(stats.SimSeconds)
+	ins.simSeconds.Set(stats.SimSeconds)
 	return global, stats, nil
 }
 
@@ -282,7 +299,7 @@ func activeLoss(w *worker) float64 { return w.lastLoss }
 
 // liveWorkers applies crash and rejoin transitions for the round and
 // returns the up workers in id order.
-func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store, round int, stats *Stats) []*worker {
+func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store, round int, stats *Stats, ins *distObs) []*worker {
 	var active []*worker
 	for _, wk := range workers {
 		if wk.downTo > round {
@@ -294,8 +311,11 @@ func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store
 			if _, skipped, err := store.Restore(wk.net); err == nil {
 				stats.Restores++
 				stats.Corruptions += skipped
+				ins.restores.Inc()
+				ins.corrupts.Add(int64(skipped))
 			}
 			stats.Rejoins++
+			ins.rejoins.Inc()
 			wk.downTo = 0
 			for i := range wk.residual {
 				wk.residual[i] = 0 // crash wiped worker memory
@@ -303,6 +323,7 @@ func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store
 		}
 		if inj.Crashes(wk.id, round) {
 			stats.Crashes++
+			ins.crashes.Inc()
 			wk.downTo = round + inj.RestartDelay()
 			continue
 		}
@@ -367,17 +388,21 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 // syncRound executes one synchronous gradient-exchange round with fault
 // handling. Returns worker-ordered first participant's loss and whether the
 // round produced an update.
-func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, stats *Stats) (float64, bool) {
+func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, stats *Stats, span *obs.Span) (float64, bool) {
+	roundStart := stats.SimSeconds
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
+	net.obs.observeSteps(results)
 	straggled := false
 	for _, r := range results {
 		stats.NumericalFaults += r.injected
+		net.obs.numFaults.Add(int64(r.injected))
 		if r.seconds > net.prof.ComputeTime(flopsPerExample*int64(cfg.BatchSize), 0.5)*1.5 {
 			straggled = true
 		}
 	}
 	if straggled {
 		stats.StragglerRounds++
+		net.obs.stragglerRounds.Inc()
 	}
 
 	// Numerical guard: a poisoned contribution (non-finite loss or
@@ -390,6 +415,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		for _, r := range results {
 			if r.poisoned {
 				stats.GuardSkipped++
+				net.obs.guardSkipped.Inc()
 				continue
 			}
 			kept = append(kept, r)
@@ -420,6 +446,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		for _, oi := range order[len(screened)-k:] {
 			r := screened[oi]
 			stats.ExcludedSlow++
+			net.obs.excludedSlow.Inc()
 			if !cfg.NoErrorFeedback {
 				// Defer the dropped worker's gradient instead of losing it.
 				for i, g := range r.grad {
@@ -450,6 +477,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		}
 		if !ok {
 			stats.Timeouts++
+			net.obs.timeouts.Inc()
 			if residual != nil {
 				// The compressed gradient never arrived; park it locally.
 				for i, g := range r.grad {
@@ -464,6 +492,8 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		received++
 	}
 	stats.SimSeconds += computeS + uplinkS
+	computeSpan := span.Child("compute", roundStart)
+	computeSpan.End(roundStart + computeS)
 	if received == 0 {
 		return 0, false // every upload timed out: no update this round
 	}
@@ -473,7 +503,9 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 
 	// Broadcast of the averaged (already compressed) update. The server
 	// persists until every live worker has the round's update.
-	stats.BytesSent += broadcastBytes(avgGrad, cfg, len(active))
+	bb := broadcastBytes(avgGrad, cfg, len(active))
+	stats.BytesSent += bb
+	net.obs.bytesSent.Add(bb)
 	var downlinkS float64
 	for _, wk := range active {
 		_, elapsed := net.broadcast(wk.id, 2*round+1, perWorkerBroadcastBytes(avgGrad, cfg), stats)
@@ -482,12 +514,15 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		}
 	}
 	stats.SimSeconds += downlinkS
+	commSpan := span.Child("comm", roundStart+computeS)
+	commSpan.End(roundStart + computeS + uplinkS + downlinkS)
 	for _, wk := range active {
 		wk.net.SetGradVector(avgGrad)
 		wk.trainer.Opt.Step(wk.net.Params())
 		wk.net.PostStep()
 	}
 	stats.AveragingRound++
+	net.obs.rounds.Inc()
 	return results[0].loss, true
 }
 
@@ -498,10 +533,12 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 // snapshot instead of shipping NaNs into the next average.
 func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, store *checkpoint.Store, step, round int, flopsPerExample int64, stats *Stats) {
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, true)
+	net.obs.observeSteps(results)
 	var computeS float64
 	straggled := false
 	for _, r := range results {
 		stats.NumericalFaults += r.injected
+		net.obs.numFaults.Add(int64(r.injected))
 		if r.seconds > computeS {
 			computeS = r.seconds
 		}
@@ -511,6 +548,7 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 	}
 	if straggled {
 		stats.StragglerRounds++
+		net.obs.stragglerRounds.Inc()
 	}
 	if cfg.Guard != nil && cfg.Guard.Mode == guard.Enforce {
 		var buf []float64
@@ -519,6 +557,7 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 			if !tensor.AllFinite(buf) {
 				if _, _, err := store.Restore(r.wk.net); err == nil {
 					stats.GuardRestores++
+					net.obs.guardRestores.Inc()
 				}
 			}
 		}
@@ -543,6 +582,7 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 		}
 		if !ok {
 			stats.Timeouts++
+			net.obs.timeouts.Inc()
 			continue
 		}
 		scratch = wk.net.ParamVectorInto(scratch)
@@ -561,6 +601,7 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 	var downlinkS float64
 	for _, wk := range active {
 		stats.BytesSent += modelBytes
+		net.obs.bytesSent.Add(modelBytes)
 		_, elapsed := net.broadcast(wk.id, 2*round+1, modelBytes, stats)
 		if elapsed > downlinkS {
 			downlinkS = elapsed
@@ -569,11 +610,12 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 	}
 	stats.SimSeconds += downlinkS
 	stats.AveragingRound++
+	net.obs.rounds.Inc()
 }
 
 // takeSnapshot captures the consensus model, possibly corrupting the
 // stored payload (which a later Restore detects via CRC and skips).
-func takeSnapshot(store *checkpoint.Store, inj *fault.Injector, step int, net *nn.Network, stats *Stats) {
+func takeSnapshot(store *checkpoint.Store, inj *fault.Injector, step int, net *nn.Network, stats *Stats, ins *distObs) {
 	snap := checkpoint.TakeSnapshot(step, net)
 	if inj.Corrupts(-1, step, 0) {
 		inj.CorruptPayload(snap.Payload, -1, step, 0)
@@ -581,6 +623,8 @@ func takeSnapshot(store *checkpoint.Store, inj *fault.Injector, step int, net *n
 	store.Put(snap)
 	stats.Snapshots++
 	stats.SnapshotBytes += snap.Bytes()
+	ins.snapshots.Inc()
+	ins.snapshotBytes.Add(snap.Bytes())
 }
 
 // transport simulates the cluster links: per-attempt loss/corruption from
@@ -592,6 +636,7 @@ type transport struct {
 	prof       device.Profile
 	maxRetries int
 	backoffS   float64
+	obs        *distObs // always non-nil; build with newDistObs (nil handle → no-ops)
 }
 
 func (t *transport) attemptTime(bytes int64) float64 {
@@ -605,16 +650,20 @@ func (t *transport) send(worker, msgKey int, bytes int64, stats *Stats) (bool, f
 	for attempt := 0; attempt < t.maxRetries; attempt++ {
 		if attempt > 0 {
 			stats.Retransmissions++
+			t.obs.retrans.Inc()
 			elapsed += t.backoffS * float64(int64(1)<<(attempt-1))
 		}
 		stats.BytesSent += bytes
+		t.obs.bytesSent.Add(bytes)
 		elapsed += t.attemptTime(bytes)
 		if t.inj.Corrupts(worker, msgKey, attempt) {
 			stats.Corruptions++
+			t.obs.corrupts.Inc()
 			continue // receiver's CRC rejects the payload → retry
 		}
 		if t.inj.Drops(worker, msgKey, attempt) {
 			stats.DroppedMessages++
+			t.obs.drops.Inc()
 			continue
 		}
 		return true, elapsed
@@ -632,7 +681,9 @@ func (t *transport) broadcast(worker, msgKey int, bytes int64, stats *Stats) (bo
 	for attempt := 0; attempt < hardCap; attempt++ {
 		if attempt > 0 {
 			stats.Retransmissions++
+			t.obs.retrans.Inc()
 			stats.BytesSent += bytes // each re-send crosses the link again
+			t.obs.bytesSent.Add(bytes)
 			backoff := attempt
 			if backoff > 10 {
 				backoff = 10
@@ -642,10 +693,12 @@ func (t *transport) broadcast(worker, msgKey int, bytes int64, stats *Stats) (bo
 		elapsed += t.attemptTime(bytes)
 		if t.inj.Corrupts(worker, msgKey, attempt) {
 			stats.Corruptions++
+			t.obs.corrupts.Inc()
 			continue
 		}
 		if t.inj.Drops(worker, msgKey, attempt) {
 			stats.DroppedMessages++
+			t.obs.drops.Inc()
 			continue
 		}
 		return true, elapsed

@@ -178,6 +178,7 @@ func TestTransportRetryAccounting(t *testing.T) {
 		prof:       device.GPUSmall,
 		maxRetries: 8,
 		backoffS:   1e-3,
+		obs:        newDistObs(nil, 0),
 	}
 	delivered := 0
 	for msg := 0; msg < 200; msg++ {

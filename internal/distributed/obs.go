@@ -1,0 +1,76 @@
+package distributed
+
+import (
+	"fmt"
+
+	"dlsys/internal/obs"
+)
+
+// distObs holds the pre-resolved observability instruments for one Train
+// run. Instruments are resolved once up front (never in the hot loop), and
+// every field is a nil no-op when the run is un-instrumented, so call sites
+// stay unconditional. Counter names mirror the Stats fields one-to-one —
+// experiment X8 asserts they reconcile exactly.
+type distObs struct {
+	h *obs.Handle
+
+	retrans, drops, corrupts, timeouts     *obs.Counter
+	crashes, rejoins, restores, snapshots  *obs.Counter
+	stragglerRounds, excludedSlow          *obs.Counter
+	numFaults, guardSkipped, guardRestores *obs.Counter
+	rounds, steps                          *obs.Counter
+	bytesSent, snapshotBytes               *obs.Counter
+	simSeconds                             *obs.Gauge
+
+	stepSeconds []*obs.Histogram // per-worker compute time, worker-id order
+}
+
+// stepBuckets spans microsecond-to-minute simulated step times, wide enough
+// for straggle factors on any catalog device.
+var stepBuckets = obs.ExpBuckets(1e-6, 4, 14)
+
+// newDistObs resolves the run's instruments. With a nil handle every field
+// resolves to a nil instrument and all updates are no-op branches.
+func newDistObs(h *obs.Handle, workers int) *distObs {
+	d := &distObs{
+		h:               h,
+		retrans:         h.Counter("distributed.retransmissions"),
+		drops:           h.Counter("distributed.dropped_messages"),
+		corrupts:        h.Counter("distributed.corruptions"),
+		timeouts:        h.Counter("distributed.timeouts"),
+		crashes:         h.Counter("distributed.crashes"),
+		rejoins:         h.Counter("distributed.rejoins"),
+		restores:        h.Counter("distributed.restores"),
+		snapshots:       h.Counter("distributed.snapshots"),
+		stragglerRounds: h.Counter("distributed.straggler_rounds"),
+		excludedSlow:    h.Counter("distributed.excluded_slow"),
+		numFaults:       h.Counter("distributed.numerical_faults"),
+		guardSkipped:    h.Counter("distributed.guard_skipped"),
+		guardRestores:   h.Counter("distributed.guard_restores"),
+		rounds:          h.Counter("distributed.averaging_rounds"),
+		steps:           h.Counter("distributed.steps"),
+		bytesSent:       h.Counter("distributed.bytes_sent"),
+		snapshotBytes:   h.Counter("distributed.snapshot_bytes"),
+		simSeconds:      h.Gauge("distributed.sim_seconds"),
+	}
+	d.stepSeconds = make([]*obs.Histogram, workers)
+	for w := range d.stepSeconds {
+		if h != nil {
+			d.stepSeconds[w] = h.Histogram(fmt.Sprintf("distributed.worker%02d.step_seconds", w), stepBuckets)
+		}
+	}
+	return d
+}
+
+// span opens a root span on the run's tracer (nil-safe).
+func (d *distObs) span(name string, startS float64) *obs.Span {
+	return d.h.Start(name, startS)
+}
+
+// observeSteps records each worker's simulated compute seconds for the
+// round, in worker-id order so the histogram sums are bit-deterministic.
+func (d *distObs) observeSteps(results []gradResult) {
+	for _, r := range results {
+		d.stepSeconds[r.wk.id].Observe(r.seconds)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"dlsys/internal/checkpoint"
 	"dlsys/internal/nn"
+	"dlsys/internal/obs"
 	"dlsys/internal/tensor"
 )
 
@@ -48,6 +49,11 @@ type Policy struct {
 	// Checkpointing.
 	SnapshotEvery int // healthy steps between snapshots (default 10)
 	KeepSnapshots int // retained snapshots (default 3)
+
+	// Obs, when non-nil, receives live incident/remediation counters
+	// (mirroring the Ledger summary counters exactly) and a span per
+	// rollback stamped with the global step. Nil disables instrumentation.
+	Obs *obs.Handle
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -99,6 +105,7 @@ type Trainer struct {
 	Policy Policy
 
 	ledger    Ledger
+	obs       *guardObs
 	store     *checkpoint.Store
 	lossMon   lossMonitor
 	normWin   *normWindow
@@ -117,6 +124,7 @@ func New(inner *nn.Trainer, p Policy) *Trainer {
 	g := &Trainer{
 		Inner:   inner,
 		Policy:  p,
+		obs:     newGuardObs(p.Obs),
 		store:   checkpoint.NewStore(p.KeepSnapshots),
 		lossMon: lossMonitor{decay: p.EMADecay, warmup: p.WarmupSteps},
 		normWin: newNormWindow(p.NormWindow),
@@ -159,11 +167,11 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 				g.bad(step, KindBadBatch, ActionSkipBatch, 0)
 				return math.NaN(), false
 			}
-			g.ledger.record(Incident{Step: step, Kind: KindBadBatch, Action: ActionObserved})
+			g.record(Incident{Step: step, Kind: KindBadBatch, Action: ActionObserved})
 		} else if drifted {
 			// Drift is a flag in both modes: the batch is usable, but the
 			// shift is worth surfacing to operators.
-			g.ledger.record(Incident{Step: step, Kind: KindInputDrift, Action: ActionFlagged, Value: bx.Mean()})
+			g.record(Incident{Step: step, Kind: KindInputDrift, Action: ActionFlagged, Value: bx.Mean()})
 		}
 	}
 
@@ -183,7 +191,7 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 			val = 0
 		}
 		if !enforce {
-			g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionObserved, Value: val})
+			g.record(Incident{Step: step, Kind: kind, Action: ActionObserved, Value: val})
 			break // fall through to the unguarded update
 		}
 		g.bad(step, kind, ActionSkipBatch, val)
@@ -192,7 +200,7 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 	case g.lossSpike(loss):
 		z := g.lossMon.zscore(loss)
 		if !enforce {
-			g.ledger.record(Incident{Step: step, Kind: KindLossSpike, Action: ActionObserved, Value: z})
+			g.record(Incident{Step: step, Kind: KindLossSpike, Action: ActionObserved, Value: z})
 			break
 		}
 		// A spiking loss means the model is being driven somewhere bad:
@@ -201,9 +209,9 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 		g.bad(step, KindLossSpike, ActionBackoffLR, z)
 		return loss, false
 
-	case g.normWin.ready() && norm > g.Policy.ExplodeMinNorm && norm > g.Policy.ExplodeFactor*g.normWin.median():
+	case g.normWin.ready() && gradExplosion(norm, g.normWin.median(), g.Policy.ExplodeFactor, g.Policy.ExplodeMinNorm):
 		if !enforce {
-			g.ledger.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionObserved, Value: norm})
+			g.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionObserved, Value: norm})
 			break
 		}
 		// The direction is usable, the magnitude is not: rescale the
@@ -214,7 +222,7 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 			grads[i] *= scale
 		}
 		g.Inner.Net.SetGradVector(grads)
-		g.ledger.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionClipGrad, Value: norm})
+		g.record(Incident{Step: step, Kind: KindGradExplosion, Action: ActionClipGrad, Value: norm})
 		g.applyHealthy(step, loss, target)
 		return loss, true
 	}
@@ -244,6 +252,13 @@ func (g *Trainer) StepLR(bx, by *tensor.Tensor, lrFactor float64) (loss float64,
 	return loss, true
 }
 
+// record lands an incident in the ledger and mirrors it into the run's
+// metrics — the single chokepoint keeping the two reconciled exactly.
+func (g *Trainer) record(in Incident) {
+	g.ledger.record(in)
+	g.obs.record(in)
+}
+
 // lossSpike reports whether the loss is a finite spike vs the EMA baseline.
 func (g *Trainer) lossSpike(loss float64) bool {
 	return g.lossMon.zscore(loss) > g.Policy.LossSpikeZ
@@ -271,7 +286,7 @@ func (g *Trainer) bad(step int, kind IncidentKind, action Action, val float64) {
 		g.rollback(step, kind, val)
 		return
 	}
-	g.ledger.record(Incident{Step: step, Kind: kind, Action: action, Value: val})
+	g.record(Incident{Step: step, Kind: kind, Action: action, Value: val})
 }
 
 // rollback restores the newest verifiable snapshot, resets stateful
@@ -282,7 +297,7 @@ func (g *Trainer) rollback(step int, kind IncidentKind, val float64) {
 	if _, _, err := g.store.Restore(g.Inner.Net); err != nil {
 		// No verifiable snapshot — record the attempt; training continues
 		// from current parameters, which is the best remaining option.
-		g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionSkipBatch, Value: val})
+		g.record(Incident{Step: step, Kind: kind, Action: ActionSkipBatch, Value: val})
 		g.consecBad = 0
 		return
 	}
@@ -293,7 +308,7 @@ func (g *Trainer) rollback(step int, kind IncidentKind, val float64) {
 	g.lossMon = lossMonitor{decay: g.Policy.EMADecay, warmup: g.Policy.WarmupSteps}
 	g.normWin = newNormWindow(g.Policy.NormWindow)
 	g.consecBad = 0
-	g.ledger.record(Incident{Step: step, Kind: kind, Action: ActionRollback, Value: val})
+	g.record(Incident{Step: step, Kind: kind, Action: ActionRollback, Value: val})
 }
 
 // FitConfig controls a guarded training run.

@@ -1,0 +1,52 @@
+package guard
+
+import (
+	"dlsys/internal/obs"
+)
+
+// guardObs holds the pre-resolved instruments for one guarded run. Counter
+// names mirror the Ledger summary counters one-to-one — experiment X8
+// asserts they reconcile exactly. Every field is a nil no-op for an
+// un-instrumented run.
+type guardObs struct {
+	h *obs.Handle
+
+	incidents                     *obs.Counter
+	skipped, clipped, backoffs    *obs.Counter
+	rollbacks, drifts, observedCt *obs.Counter
+}
+
+func newGuardObs(h *obs.Handle) *guardObs {
+	return &guardObs{
+		h:          h,
+		incidents:  h.Counter("guard.incidents"),
+		skipped:    h.Counter("guard.skipped"),
+		clipped:    h.Counter("guard.clipped"),
+		backoffs:   h.Counter("guard.backoffs"),
+		rollbacks:  h.Counter("guard.rollbacks"),
+		drifts:     h.Counter("guard.drifts"),
+		observedCt: h.Counter("guard.observed"),
+	}
+}
+
+// record mirrors one incident into the metrics, matching Ledger.record's
+// switch exactly, and emits a zero-width rollback span on the guard's
+// virtual clock (the global step counter).
+func (o *guardObs) record(in Incident) {
+	o.incidents.Inc()
+	switch in.Action {
+	case ActionSkipBatch:
+		o.skipped.Inc()
+	case ActionClipGrad:
+		o.clipped.Inc()
+	case ActionBackoffLR:
+		o.backoffs.Inc()
+	case ActionRollback:
+		o.rollbacks.Inc()
+		o.h.Emit("guard.rollback", float64(in.Step), float64(in.Step))
+	case ActionFlagged:
+		o.drifts.Inc()
+	case ActionObserved:
+		o.observedCt.Inc()
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Export is one flushed observability payload: the registry's deterministic
+// snapshot plus the tracer's span list.
+type Export struct {
+	Metrics []Point
+	Spans   []SpanRecord
+}
+
+// Sink consumes exports. Implementations must not mutate the export.
+type Sink interface {
+	Export(Export) error
+}
+
+// Flush snapshots the handle's registry and tracer into the sink. A nil
+// handle flushes an empty export.
+func (h *Handle) Flush(s Sink) error {
+	if h == nil {
+		return s.Export(Export{})
+	}
+	return s.Export(Export{Metrics: h.Reg.Snapshot(), Spans: h.Tracer.Spans()})
+}
+
+// MemorySink retains every export in order — the test sink.
+type MemorySink struct {
+	Exports []Export
+}
+
+// Export implements Sink.
+func (m *MemorySink) Export(e Export) error {
+	m.Exports = append(m.Exports, e)
+	return nil
+}
+
+// jsonlLine is the tagged union written per JSONL record.
+type jsonlLine struct {
+	Type   string      `json:"type"` // "metric" or "span"
+	Metric *Point      `json:"metric,omitempty"`
+	Span   *SpanRecord `json:"span,omitempty"`
+}
+
+// JSONLSink writes one JSON object per line: first every metric (sorted by
+// kind then name, from the registry snapshot), then every span in ID order.
+// The output is byte-deterministic for a deterministic export, so two
+// same-seed runs of an instrumented scenario serialize identically.
+type JSONLSink struct {
+	W io.Writer
+}
+
+// Export implements Sink.
+func (j JSONLSink) Export(e Export) error {
+	enc := json.NewEncoder(j.W)
+	for i := range e.Metrics {
+		if err := enc.Encode(jsonlLine{Type: "metric", Metric: &e.Metrics[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range e.Spans {
+		if err := enc.Encode(jsonlLine{Type: "span", Span: &e.Spans[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package pipeline
+
+import (
+	"dlsys/internal/obs"
+)
+
+// pipeObs holds the pre-resolved instruments for one pipeline run. The
+// stage/degradation counters mirror the Ledger's Stages/Degraded lists
+// one-to-one — experiment X8 asserts they reconcile exactly — and each
+// executed stage gets a child span on an ordinal clock (stage index), the
+// pipeline's only deterministic notion of time before device seconds are
+// derived at the end.
+type pipeObs struct {
+	h *obs.Handle
+
+	stages, degraded     *obs.Counter
+	incidents, rollbacks *obs.Counter
+
+	root *obs.Span
+}
+
+func newPipeObs(h *obs.Handle) *pipeObs {
+	return &pipeObs{
+		h:         h,
+		stages:    h.Counter("pipeline.stages"),
+		degraded:  h.Counter("pipeline.degraded"),
+		incidents: h.Counter("pipeline.incidents"),
+		rollbacks: h.Counter("pipeline.rollbacks"),
+		root:      h.Start("pipeline.run", 0),
+	}
+}
+
+// stage records one executed (or failed-and-fallen-back) stage: the counter
+// mirrors the Ledger.Stages append and the span covers [idx, idx+1] on the
+// ordinal stage clock.
+func (o *pipeObs) stage(name string, idx int) {
+	o.stages.Inc()
+	sp := o.root.Child("pipeline.stage."+name, float64(idx))
+	sp.End(float64(idx + 1))
+}
+
+// finish closes the root span at the final stage count.
+func (o *pipeObs) finish(stageCount int) {
+	o.root.End(float64(stageCount))
+}

@@ -25,6 +25,7 @@ import (
 	"dlsys/internal/green"
 	"dlsys/internal/guard"
 	"dlsys/internal/nn"
+	"dlsys/internal/obs"
 	"dlsys/internal/prune"
 	"dlsys/internal/quant"
 	"dlsys/internal/tensor"
@@ -74,6 +75,13 @@ type Spec struct {
 	// Deployment target for time/energy estimates
 	Device device.Profile // zero → device.GPUSmall
 	Region green.Region   // zero → green.MixedUS
+
+	// Obs, when non-nil, receives live stage/degradation counters
+	// (mirroring the Ledger's Stages/Degraded lists exactly), per-stage
+	// spans on the ordinal stage clock, and — via the guard, when the
+	// training stage is guarded — incident metrics. Nil disables
+	// instrumentation at near-zero cost.
+	Obs *obs.Handle
 }
 
 // Ledger reports every tradeoff metric for the executed pipeline.
@@ -196,10 +204,12 @@ func runStage(name string, idx int, inj *fault.Injector, rate float64, f func() 
 	return f()
 }
 
-// degrade records a failed optional stage in the ledger.
-func degrade(l *Ledger, name string, err error) {
+// degrade records a failed optional stage in the ledger and metrics.
+func degrade(l *Ledger, o *pipeObs, name string, err error) {
 	l.Stages = append(l.Stages, name+"(failed→fallback)")
 	l.Degraded = append(l.Degraded, fmt.Sprintf("%s: %v", name, err))
+	o.stage(name+".failed", len(l.Stages)-1)
+	o.degraded.Inc()
 }
 
 // Run executes the declared pipeline and returns its ledger.
@@ -208,6 +218,7 @@ func Run(spec Spec) (Ledger, error) {
 	if err := spec.validate(); err != nil {
 		return Ledger{}, err
 	}
+	o := newPipeObs(spec.Obs)
 	inj := fault.NewInjector(fault.Config{Seed: spec.FaultSeed})
 	rng := rand.New(rand.NewSource(spec.Seed + 1))
 	ds := data.GaussianMixture(rng, spec.Examples, spec.Features, spec.Classes, spec.Sep)
@@ -229,7 +240,7 @@ func Run(spec Spec) (Ledger, error) {
 		if spec.SelfHeal {
 			mode = guard.Enforce
 		}
-		g := guard.New(tr, guard.Policy{Mode: mode, Schema: guard.NewBatchSchema(train.X, 6)})
+		g := guard.New(tr, guard.Policy{Mode: mode, Schema: guard.NewBatchSchema(train.X, 6), Obs: spec.Obs})
 		var ninj *fault.Injector
 		if spec.NumericalFaultRate > 0 {
 			ninj = fault.NewInjector(fault.NumericalRate(spec.FaultSeed, spec.NumericalFaultRate))
@@ -249,15 +260,19 @@ func Run(spec Spec) (Ledger, error) {
 		ledger.TrainFLOPs += stats.FLOPs
 		ledger.Incidents = g.Ledger().Len()
 		ledger.Rollbacks = g.Ledger().Rollbacks
+		o.incidents.Add(int64(ledger.Incidents))
+		o.rollbacks.Add(int64(ledger.Rollbacks))
 		name := "train-guarded"
 		if !spec.SelfHeal {
 			name = "train-observed"
 		}
 		ledger.Stages = append(ledger.Stages, fmt.Sprintf("%s(%v,%dep)", name, spec.Hidden, spec.Epochs))
+		o.stage(name, len(ledger.Stages)-1)
 	} else {
 		stats := tr.Fit(train.X, y, nn.TrainConfig{Epochs: spec.Epochs, BatchSize: spec.BatchSize})
 		ledger.TrainFLOPs += stats.FLOPs
 		ledger.Stages = append(ledger.Stages, fmt.Sprintf("train(%v,%dep)", spec.Hidden, spec.Epochs))
+		o.stage("train", len(ledger.Stages)-1)
 	}
 
 	if spec.PruneSparsity > 0 {
@@ -277,9 +292,10 @@ func Run(spec Spec) (Ledger, error) {
 			if rerr := pre.Restore(net); rerr != nil {
 				return Ledger{}, fmt.Errorf("pipeline: prune fallback failed: %w", rerr)
 			}
-			degrade(&ledger, "prune", err)
+			degrade(&ledger, o, "prune", err)
 		} else {
 			ledger.Stages = append(ledger.Stages, fmt.Sprintf("prune(%.0f%%)", spec.PruneSparsity*100))
+			o.stage("prune", len(ledger.Stages)-1)
 		}
 	}
 
@@ -297,11 +313,12 @@ func Run(spec Spec) (Ledger, error) {
 			return nil
 		})
 		if err != nil {
-			degrade(&ledger, "distill", err) // deployed stays the teacher
+			degrade(&ledger, o, "distill", err) // deployed stays the teacher
 		} else {
 			deployed = student
 			deployedCfg = sCfg
 			ledger.Stages = append(ledger.Stages, fmt.Sprintf("distill(w=%d)", spec.DistillWidth))
+			o.stage("distill", len(ledger.Stages)-1)
 		}
 	}
 
@@ -324,11 +341,12 @@ func Run(spec Spec) (Ledger, error) {
 			return nil
 		})
 		if err != nil {
-			degrade(&ledger, "quantize", err) // ship the float model
+			degrade(&ledger, o, "quantize", err) // ship the float model
 		} else {
 			deployed = qnet
 			ledger.ModelBytes = qbytes
 			ledger.Stages = append(ledger.Stages, fmt.Sprintf("quantize(%db)", spec.QuantizeBits))
+			o.stage("quantize", len(ledger.Stages)-1)
 		}
 	}
 
@@ -340,11 +358,12 @@ func Run(spec Spec) (Ledger, error) {
 			return nil
 		})
 		if err != nil {
-			degrade(&ledger, "int8-deploy", err) // fall back to the float path
+			degrade(&ledger, o, "int8-deploy", err) // fall back to the float path
 		} else {
 			ledger.Accuracy = im.Accuracy(test.X, test.Labels)
 			ledger.ModelBytes = im.Bytes()
 			ledger.Stages = append(ledger.Stages, "int8-deploy")
+			o.stage("int8-deploy", len(ledger.Stages)-1)
 			intDeployed = true
 		}
 	}
@@ -357,6 +376,7 @@ func Run(spec Spec) (Ledger, error) {
 	ledger.TrainSeconds = spec.Device.ComputeTime(ledger.TrainFLOPs, 0.5)
 	fp := green.Estimate(ledger.TrainFLOPs, spec.Device, spec.Region, 0.5)
 	ledger.TrainCO2Grams = fp.CO2Grams
+	o.finish(len(ledger.Stages))
 	return ledger, nil
 }
 

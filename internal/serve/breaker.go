@@ -8,7 +8,11 @@
 // seed always reproduces the same request ledger, bit for bit.
 package serve
 
-import "fmt"
+import (
+	"fmt"
+
+	"dlsys/internal/obs"
+)
 
 // BreakerState is the classic three-state circuit-breaker automaton.
 type BreakerState int
@@ -102,6 +106,10 @@ type Breaker struct {
 
 	opened   int // Closed/HalfOpen -> Open transitions
 	reclosed int // HalfOpen -> Closed transitions
+
+	// Optional transition counters, incremented at the exact sites the
+	// opened/reclosed tallies change (nil-safe no-ops by default).
+	onOpen, onReclose *obs.Counter
 }
 
 // NewBreaker builds a breaker; zero-valued config fields take defaults.
@@ -153,6 +161,7 @@ func (b *Breaker) Record(now float64, ok bool) {
 		if b.probeOK >= b.cfg.HalfOpenProbes {
 			b.state = Closed
 			b.reclosed++
+			b.onReclose.Inc()
 			b.resetWindow()
 		}
 	case Closed:
@@ -174,7 +183,13 @@ func (b *Breaker) trip(now float64) {
 	b.state = Open
 	b.openedAt = now
 	b.opened++
+	b.onOpen.Inc()
 	b.resetWindow()
+}
+
+// instrument attaches transition counters; nil counters stay no-ops.
+func (b *Breaker) instrument(onOpen, onReclose *obs.Counter) {
+	b.onOpen, b.onReclose = onOpen, onReclose
 }
 
 func (b *Breaker) resetWindow() {

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"dlsys/internal/obs"
+)
+
+// serveObs holds the pre-resolved instruments for one serving run. Counter
+// names mirror the Result tallies one-to-one — experiment X8 asserts they
+// reconcile exactly against the request ledger. Every field is a nil no-op
+// for an un-instrumented run.
+type serveObs struct {
+	h *obs.Handle
+
+	served, shed, failed           *obs.Counter
+	hedgesLaunched, hedgeWins      *obs.Counter
+	breakerOpened, breakerReclosed *obs.Counter
+
+	tierServed  [numTiers]*obs.Counter
+	tierLatency [numTiers]*obs.Histogram
+
+	// Span names by outcome, pre-built so the per-request hot path does
+	// not allocate.
+	spanNames [3]string
+}
+
+// latencyBuckets spans sub-millisecond to multi-minute simulated request
+// latencies across the device catalog.
+var latencyBuckets = obs.ExpBuckets(1e-4, 4, 12)
+
+func newServeObs(h *obs.Handle) *serveObs {
+	o := &serveObs{
+		h:               h,
+		served:          h.Counter("serve.served"),
+		shed:            h.Counter("serve.shed"),
+		failed:          h.Counter("serve.failed"),
+		hedgesLaunched:  h.Counter("serve.hedges_launched"),
+		hedgeWins:       h.Counter("serve.hedge_wins"),
+		breakerOpened:   h.Counter("serve.breaker_opened"),
+		breakerReclosed: h.Counter("serve.breaker_reclosed"),
+	}
+	for t := TierFull; t < numTiers; t++ {
+		if h != nil {
+			o.tierServed[t] = h.Counter("serve.tier." + t.String() + ".served")
+			o.tierLatency[t] = h.Histogram("serve.tier."+t.String()+".latency_seconds", latencyBuckets)
+		}
+	}
+	for _, oc := range []Outcome{Served, Shed, Failed} {
+		o.spanNames[oc] = "serve.request." + oc.String()
+	}
+	return o
+}
+
+// record folds one finished request into the metrics and emits its span —
+// one per request, stamped [ArrivalS, FinishS] from the simulated clock,
+// named by outcome so traces segment without span attributes.
+func (o *serveObs) record(rec *RequestRecord) {
+	switch rec.Outcome {
+	case Served:
+		o.served.Inc()
+		o.tierServed[rec.Tier].Inc()
+		o.tierLatency[rec.Tier].Observe(rec.LatencyS)
+	case Shed:
+		o.shed.Inc()
+	case Failed:
+		o.failed.Inc()
+	}
+	if rec.Hedged {
+		o.hedgesLaunched.Inc()
+	}
+	if rec.HedgeWon {
+		o.hedgeWins.Inc()
+	}
+	o.h.Emit(o.spanNames[rec.Outcome], rec.ArrivalS, rec.FinishS)
+}

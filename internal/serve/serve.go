@@ -6,6 +6,7 @@ import (
 
 	"dlsys/internal/device"
 	"dlsys/internal/fault"
+	"dlsys/internal/obs"
 	"dlsys/internal/tensor"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	// served it. Optional; without it Correct/MixAccuracy stay zero.
 	EvalX      *tensor.Tensor
 	EvalLabels []int
+
+	// Obs, when non-nil, receives live metrics (outcome counters mirroring
+	// the Result tallies, per-tier latency histograms, breaker transition
+	// counters) and one span per request stamped from the simulated clock.
+	// Nil disables instrumentation at near-zero cost.
+	Obs *obs.Handle
 }
 
 // baseServiceS is the fastest fault-free service time among lowest-tier
@@ -236,6 +243,8 @@ type Server struct {
 	latN    int
 
 	preds [4][]int // per-tier predictions over the eval rows
+
+	obs *serveObs
 }
 
 // NewServer validates the config and prepares a server. The same server
@@ -253,10 +262,13 @@ func NewServer(cfg Config) (*Server, error) {
 		inj:    fault.NewInjector(cfg.Faults),
 		byTier: make([][]int, numTiers),
 		lat:    make([]float64, 64),
+		obs:    newServeObs(cfg.Obs),
 	}
 	s.minTier = numTiers
 	for i, r := range cfg.Replicas {
-		s.states = append(s.states, &replicaState{br: NewBreaker(cfg.Breaker)})
+		br := NewBreaker(cfg.Breaker)
+		br.instrument(s.obs.breakerOpened, s.obs.breakerReclosed)
+		s.states = append(s.states, &replicaState{br: br})
 		s.byTier[r.Variant.Tier] = append(s.byTier[r.Variant.Tier], i)
 		if r.Variant.Tier < s.minTier {
 			s.minTier = r.Variant.Tier
@@ -285,6 +297,7 @@ func (s *Server) Run() Result {
 	for i := 0; i < s.cfg.Requests; i++ {
 		now += s.inj.Exp(fault.KindArrival, 0, i, 0, mean)
 		rec := s.serveOne(i, now)
+		s.obs.record(&rec)
 		res.Records = append(res.Records, rec)
 		switch rec.Outcome {
 		case Served:
