@@ -16,7 +16,7 @@ import (
 )
 
 // One benchmark per registered experiment — the claims (E1..E32), the
-// ablations (A1..A9), and the extensions (X1..X7) — each regenerating its
+// ablations (A1..A9), and the extensions (X1..X9) — each regenerating its
 // table at quick scale, so `go test -bench=E<k>$` reproduces any single
 // result and `-bench=.` reproduces them all.
 func benchExperiment(b *testing.B, id string) {
@@ -76,7 +76,7 @@ func BenchmarkA7(b *testing.B) { benchExperiment(b, "A7") }
 func BenchmarkA8(b *testing.B) { benchExperiment(b, "A8") }
 func BenchmarkA9(b *testing.B) { benchExperiment(b, "A9") }
 
-// Extensions X1..X8 — cited systems beyond the explicit claims.
+// Extensions X1..X9 — cited systems beyond the explicit claims.
 func BenchmarkX1(b *testing.B) { benchExperiment(b, "X1") }
 func BenchmarkX2(b *testing.B) { benchExperiment(b, "X2") }
 func BenchmarkX3(b *testing.B) { benchExperiment(b, "X3") }
@@ -85,6 +85,7 @@ func BenchmarkX5(b *testing.B) { benchExperiment(b, "X5") }
 func BenchmarkX6(b *testing.B) { benchExperiment(b, "X6") }
 func BenchmarkX7(b *testing.B) { benchExperiment(b, "X7") }
 func BenchmarkX8(b *testing.B) { benchExperiment(b, "X8") }
+func BenchmarkX9(b *testing.B) { benchExperiment(b, "X9") }
 
 // ---- micro-benchmarks for the hot paths underlying the experiments ----
 
@@ -182,8 +183,8 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 // Sanity checks that the facade works; keeps the root package tested, not
 // only benchmarked.
 func TestFacade(t *testing.T) {
-	if got := len(Experiments()); got != 49 {
-		t.Fatalf("Experiments() returned %d, want 49 (32 claims + 9 ablations + 8 extensions)", got)
+	if got := len(Experiments()); got != 50 {
+		t.Fatalf("Experiments() returned %d, want 50 (32 claims + 9 ablations + 9 extensions)", got)
 	}
 	if got := len(Techniques()); got < 30 {
 		t.Fatalf("Techniques() returned %d, want >=30", got)

@@ -4,7 +4,7 @@
 //
 //	dlsys list                 # list all experiments with their claims
 //	dlsys techniques           # print the tradeoff framework
-//	dlsys run E13 [-full]      # run one experiment (E1..E32, A1..A9, X1..X8)
+//	dlsys run E13 [-full]      # run one experiment (E1..E32, A1..A9, X1..X9)
 //	dlsys run all [-full]      # run every experiment in order
 package main
 
@@ -36,7 +36,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X8|all> [-full]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X9|all> [-full]")
 }
 
 func list() {

@@ -11,7 +11,10 @@
 //     training with Local SGD, gradient compression, and fault tolerance —
 //     retrying transport, straggler mitigation, crash recovery from
 //     CRC-protected model snapshots — under deterministic fault injection
-//     (internal/distributed, internal/fault); self-healing training that
+//     (internal/distributed, internal/fault); Byzantine-robust aggregation
+//     (coordinate median, trimmed mean, Krum, norm clipping) with
+//     reputation-based quarantine of adversarial workers (internal/robust);
+//     self-healing training that
 //     detects numerical faults and divergence and remediates by skipping,
 //     clipping, LR backoff, and checkpoint rollback, with a replayable
 //     incident ledger (internal/guard); activation checkpointing,
@@ -34,8 +37,8 @@
 //
 // The tutorial publishes no tables or figures; its claims are reproduced
 // as 32 registered experiments (E1-E32), each regenerating a results
-// table, plus nine design-choice ablations (A1-A9) and seven extension
-// studies of cited systems (X1-X7). This package is the facade: list
+// table, plus nine design-choice ablations (A1-A9) and nine extension
+// studies of cited systems (X1-X9). This package is the facade: list
 // experiments, run them, and render their tables. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for expected-vs-measured shapes.
 package dlsys
@@ -58,7 +61,7 @@ type Experiment = core.Experiment
 type Technique = core.Technique
 
 // Experiments returns all registered experiments: the claim reproductions
-// E1..E32, then the ablations A1..A9, then the extensions X1..X8.
+// E1..E32, then the ablations A1..A9, then the extensions X1..X9.
 func Experiments() []Experiment { return core.All() }
 
 // ClaimExperiments returns only E1..E32, the tutorial-claim reproductions.
@@ -67,7 +70,7 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X8: cited systems implemented
+// ExtensionExperiments returns only X1..X9: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
@@ -91,13 +94,13 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 	return pipeline.Compare(specs...)
 }
 
-// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X7").
+// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X9").
 // With full set, problem sizes match the documented tables; otherwise a
 // quick scale keeps runs in the low seconds.
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X8)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X9)", id)
 	}
 	scale := core.Quick
 	if full {

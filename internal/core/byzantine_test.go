@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestX9ByzantineClaims pins the X9 acceptance criteria: with 1 of 8
+// workers adversarial, mean aggregation's final held-out loss diverges
+// (> 3x attack-free, or non-finite) under every attack kind, while
+// coordinate median, trimmed mean, and Krum each finish within 1.5x of the
+// attack-free baseline; NormClip alone fails under the amplified
+// sign-flip; the quarantine ledger names exactly the true offender with
+// zero false positives on the attack-free run; robust aggregation costs
+// measurable but bounded simulated time; and two same-seed instrumented
+// runs produce identical metric, trace, and ledger fingerprints. Every
+// check here is on deterministic simulated quantities, so a single run
+// suffices.
+func TestX9ByzantineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X9 matrix skipped in -short mode")
+	}
+	e, ok := Get("X9")
+	if !ok {
+		t.Fatal("X9 not registered")
+	}
+	tab := e.Run(Quick)
+	t.Log("\n" + tab.Render())
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+
+	// ratio parses vs_clean, mapping "inf" (divergence to non-finite loss)
+	// to +Inf so "> bound" comparisons behave.
+	ratio := func(row []string) float64 {
+		s := row[col["vs_clean"]]
+		if s == "inf" {
+			return math.Inf(1)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparseable vs_clean %q in row %v", s, row)
+		}
+		return v
+	}
+	byAgg := map[string][][]string{}
+	for _, row := range tab.Rows {
+		byAgg[row[col["aggregator"]]] = append(byAgg[row[col["aggregator"]]], row)
+	}
+	attackKinds := []string{"sign-flip", "scale-attack", "drift-attack", "collude"}
+
+	// Mean diverges under every attack kind.
+	for _, row := range byAgg["mean"] {
+		atk := row[col["attack"]]
+		if atk == "none" {
+			continue
+		}
+		if r := ratio(row); !(r > 3) {
+			t.Errorf("mean under %s: vs_clean %.4g, want > 3 (divergence)", atk, r)
+		}
+	}
+
+	// The robust rules stay within 1.5x of their own attack-free baseline
+	// under every attack kind.
+	for _, agg := range []string{"coordmedian", "trimmed(1)", "krum(1)"} {
+		rows := byAgg[agg]
+		if len(rows) != 5 {
+			t.Fatalf("%s has %d rows, want 5", agg, len(rows))
+		}
+		for _, row := range rows {
+			if r := ratio(row); !(r <= 1.5) {
+				t.Errorf("%s under %s: vs_clean %.4g, want <= 1.5", agg, row[col["attack"]], r)
+			}
+		}
+	}
+
+	// NormClip alone fails under sign-flip: its clip threshold (the mean
+	// participant norm) is adversary-inflatable.
+	for _, row := range byAgg["normclip"] {
+		if row[col["attack"]] == "sign-flip" {
+			if r := ratio(row); !(r > 1.5) {
+				t.Errorf("normclip under sign-flip: vs_clean %.4g, want > 1.5 (it must fail)", r)
+			}
+		}
+	}
+
+	// Robust aggregation costs measurable but bounded simulated time:
+	// strictly more agg_s than the mean baseline, strictly less than 1% of
+	// the run's total simulated seconds.
+	aggS := func(rows [][]string) (float64, float64) {
+		a, err := strconv.ParseFloat(rows[0][col["agg_s"]], 64)
+		if err != nil {
+			t.Fatalf("unparseable agg_s %q", rows[0][col["agg_s"]])
+		}
+		s, err := strconv.ParseFloat(rows[0][col["sim_s"]], 64)
+		if err != nil {
+			t.Fatalf("unparseable sim_s %q", rows[0][col["sim_s"]])
+		}
+		return a, s
+	}
+	meanAggS, _ := aggS(byAgg["mean"])
+	if meanAggS <= 0 {
+		t.Errorf("mean baseline charged no aggregation time")
+	}
+	for _, agg := range []string{"coordmedian", "trimmed(1)", "krum(1)"} {
+		a, s := aggS(byAgg[agg])
+		if a <= meanAggS {
+			t.Errorf("%s agg_s %.3g not measurably above mean's %.3g", agg, a, meanAggS)
+		}
+		if a >= 0.01*s {
+			t.Errorf("%s agg_s %.3g exceeds 1%% of sim_s %.3g — overhead not bounded", agg, a, s)
+		}
+	}
+
+	// Quarantine: exactly the true offender under every attack kind, and
+	// zero quarantines (no false positives) on the attack-free run.
+	repRows := byAgg["rep/coordmedian"]
+	if len(repRows) != 5 {
+		t.Fatalf("rep/coordmedian has %d rows, want 5", len(repRows))
+	}
+	for _, row := range repRows {
+		atk := row[col["attack"]]
+		offenders := row[col["offenders"]]
+		quar := row[col["quar"]]
+		if atk == "none" {
+			if quar != "0" || offenders != "" {
+				t.Errorf("attack-free run quarantined %q (%s events) — false positives", offenders, quar)
+			}
+			continue
+		}
+		if offenders != "7" {
+			t.Errorf("quarantine under %s named %q, want exactly the adversary \"7\"", atk, offenders)
+		}
+		if quar == "0" {
+			t.Errorf("quarantine under %s recorded no events", atk)
+		}
+	}
+	seen := map[string]bool{}
+	for _, row := range repRows {
+		seen[row[col["attack"]]] = true
+	}
+	for _, atk := range attackKinds {
+		if !seen[atk] {
+			t.Errorf("quarantine rows missing attack kind %s", atk)
+		}
+	}
+
+	// Replay: the two instrumented same-seed runs carry identical
+	// metric:trace:ledger fingerprint triples.
+	var replays []string
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[col["aggregator"]], "replay/") {
+			replays = append(replays, row[col["fingerprint"]])
+		}
+	}
+	if len(replays) != 2 {
+		t.Fatalf("want 2 replay rows, got %d", len(replays))
+	}
+	if replays[0] != replays[1] {
+		t.Errorf("same-seed runs produced different fingerprints:\n%s\n%s", replays[0], replays[1])
+	}
+	if parts := strings.Split(replays[0], ":"); len(parts) != 3 {
+		t.Errorf("fingerprint %q is not a metric:trace:ledger triple", replays[0])
+	}
+}

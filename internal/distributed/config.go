@@ -1,0 +1,78 @@
+package distributed
+
+import "fmt"
+
+// ConfigError is a typed validation failure for a degenerate Config field:
+// which field, and why its value cannot run.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("distributed: config %s %s", e.Field, e.Reason)
+}
+
+// Validate rejects degenerate configurations with typed errors instead of
+// letting them silently misbehave. Zero values mean "use the default" and
+// always pass; negative values that a default clamp would otherwise hide
+// are rejected. Train calls Validate before touching any state.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return &ConfigError{"Workers", fmt.Sprintf("%d < 1: need at least one worker", c.Workers)}
+	}
+	if c.Epochs < 0 {
+		return &ConfigError{"Epochs", fmt.Sprintf("%d is negative", c.Epochs)}
+	}
+	if c.BatchSize < 1 {
+		return &ConfigError{"BatchSize", fmt.Sprintf("%d < 1", c.BatchSize)}
+	}
+	if c.LR < 0 {
+		return &ConfigError{"LR", fmt.Sprintf("%g is negative", c.LR)}
+	}
+	if c.AveragePeriod < 0 {
+		return &ConfigError{"AveragePeriod", fmt.Sprintf("%d is negative", c.AveragePeriod)}
+	}
+	if c.TopK < 0 {
+		return &ConfigError{"TopK", fmt.Sprintf("%g is negative", c.TopK)}
+	}
+	if c.QuantBits < 0 {
+		return &ConfigError{"QuantBits", fmt.Sprintf("%d is negative", c.QuantBits)}
+	}
+	if c.MaxRetries < 0 {
+		return &ConfigError{"MaxRetries", fmt.Sprintf("%d is negative", c.MaxRetries)}
+	}
+	if c.RetryBackoffS < 0 {
+		return &ConfigError{"RetryBackoffS", fmt.Sprintf("%g is negative", c.RetryBackoffS)}
+	}
+	if c.SnapshotPeriod < 0 {
+		return &ConfigError{"SnapshotPeriod", fmt.Sprintf("%d is negative", c.SnapshotPeriod)}
+	}
+	if c.DropSlowestK != 0 && (c.DropSlowestK < 0 || c.DropSlowestK >= c.Workers) {
+		return &ConfigError{"DropSlowestK", fmt.Sprintf("%d out of [0, %d workers)", c.DropSlowestK, c.Workers)}
+	}
+	if c.Reputation != nil {
+		r := *c.Reputation
+		if r.Decay != 0 && (r.Decay < 0 || r.Decay >= 1) {
+			return &ConfigError{"Reputation.Decay", fmt.Sprintf("%g out of [0, 1)", r.Decay)}
+		}
+		if r.Threshold < 0 {
+			return &ConfigError{"Reputation.Threshold", fmt.Sprintf("%g is negative", r.Threshold)}
+		}
+		if r.Patience < 0 {
+			return &ConfigError{"Reputation.Patience", fmt.Sprintf("%d is negative", r.Patience)}
+		}
+		if r.Probation < 0 {
+			return &ConfigError{"Reputation.Probation", fmt.Sprintf("%d is negative", r.Probation)}
+		}
+	}
+	for _, w := range c.Fault.ByzantineWorkers {
+		if w >= c.Workers {
+			return &ConfigError{"Fault.ByzantineWorkers", fmt.Sprintf("worker %d out of [0, %d workers)", w, c.Workers)}
+		}
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

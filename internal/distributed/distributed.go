@@ -19,8 +19,6 @@
 package distributed
 
 import (
-	"errors"
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -32,6 +30,7 @@ import (
 	"dlsys/internal/guard"
 	"dlsys/internal/nn"
 	"dlsys/internal/obs"
+	"dlsys/internal/robust"
 	"dlsys/internal/tensor"
 )
 
@@ -96,6 +95,22 @@ type Config struct {
 	// stamped from the simulated clock. Nil disables instrumentation at
 	// near-zero cost.
 	Obs *obs.Handle
+
+	// Aggregator combines worker contributions each averaging round:
+	// gradients in the synchronous regime, parameter vectors under Local
+	// SGD. Nil selects the plain mean and reproduces the historical
+	// behaviour bit-for-bit (no aggregation cost is charged to the
+	// simulated clock). A non-nil aggregator — robust.CoordMedian,
+	// robust.TrimmedMean, robust.Krum, robust.NormClip, or robust.Mean as
+	// the accounted baseline — additionally charges its FLOPs cost model
+	// as simulated aggregation time and emits an "aggregate" span.
+	Aggregator robust.Aggregator
+	// Reputation, when non-nil, enables the per-worker reputation tracker:
+	// an EMA of each worker's distance to the aggregate. Persistent
+	// offenders are quarantined (excluded from aggregation, still
+	// receiving updates) and readmitted after a probation window, with
+	// every transition recorded in the replay-fingerprinted Stats ledger.
+	Reputation *robust.ReputationConfig
 }
 
 // Stats reports what a run cost and how it progressed.
@@ -118,11 +133,21 @@ type Stats struct {
 	StragglerRounds int     // rounds where >=1 participant straggled
 	ExcludedSlow    int     // worker-rounds excluded by DropSlowestK
 	SimSeconds      float64 // simulated wall-clock on Config.Device
+	AggSeconds      float64 // simulated time spent in the (explicit) aggregator
 
 	// Numerical-fault counters (all zero without numerical fault config).
 	NumericalFaults int // batches poisoned / labels shuffled by the injector
 	GuardSkipped    int // worker contributions excluded by the guard
 	GuardRestores   int // worker models rolled back after poisoned updates
+
+	// Byzantine counters (all zero without adversarial fault config).
+	ByzantineAttacks   int // poisoned uploads injected by adversarial workers
+	QuarantineExcluded int // worker-rounds excluded while quarantined
+	Quarantines        int // quarantine events recorded in the ledger
+	Readmissions       int // probation expiries readmitting workers
+	// Quarantine is the replay-fingerprinted quarantine event ledger (nil
+	// unless Config.Reputation is set).
+	Quarantine *robust.Ledger
 }
 
 const wireBytesPerFloat = 4 // gradients/parameters travel as float32
@@ -132,19 +157,7 @@ const wireBytesPerFloat = 4 // gradients/parameters travel as float32
 // and fault seed, regardless of worker execution order.
 func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, error) {
 	var stats Stats
-	if cfg.Workers < 1 {
-		return nil, stats, errors.New("distributed: need at least one worker")
-	}
-	if cfg.Epochs < 0 {
-		return nil, stats, fmt.Errorf("distributed: negative epoch count %d", cfg.Epochs)
-	}
-	if cfg.BatchSize < 1 {
-		return nil, stats, fmt.Errorf("distributed: batch size %d < 1", cfg.BatchSize)
-	}
-	if cfg.DropSlowestK != 0 && (cfg.DropSlowestK < 0 || cfg.DropSlowestK >= cfg.Workers) {
-		return nil, stats, fmt.Errorf("distributed: DropSlowestK %d out of [0, workers)", cfg.DropSlowestK)
-	}
-	if err := cfg.Fault.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, stats, err
 	}
 	if cfg.AveragePeriod < 1 {
@@ -169,6 +182,17 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 	prof := cfg.Device
 	if prof.Name == "" {
 		prof = device.GPUSmall
+	}
+	// A nil aggregator is the historical plain mean with no aggregation
+	// cost charged; an explicit one (even Mean) is accounted on the clock.
+	agg := cfg.Aggregator
+	chargeAgg := agg != nil
+	if agg == nil {
+		agg = robust.Mean{}
+	}
+	var rep *robust.Reputation
+	if cfg.Reputation != nil {
+		rep = robust.NewReputation(*cfg.Reputation)
 	}
 	ins := newDistObs(cfg.Obs, cfg.Workers)
 	net := &transport{inj: inj, prof: prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS, obs: ins}
@@ -221,7 +245,7 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 			}
 			if cfg.AveragePeriod == 1 {
 				roundSpan := trainSpan.Child("sync-round", stats.SimSeconds)
-				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, &stats, roundSpan)
+				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, agg, chargeAgg, rep, &stats, roundSpan)
 				roundSpan.End(stats.SimSeconds)
 				if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 					epochLoss += loss
@@ -239,7 +263,7 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 				globalStep := round + 1
 				if globalStep%cfg.AveragePeriod == 0 {
 					roundSpan := trainSpan.Child("avg-round", stats.SimSeconds)
-					averageRound(active, cfg, net, round, modelSize, &stats)
+					averageRound(active, cfg, net, round, modelSize, agg, chargeAgg, rep, &stats)
 					roundSpan.End(stats.SimSeconds)
 					if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
 						takeSnapshot(store, inj, round+1, active[0].net, &stats, ins)
@@ -270,8 +294,17 @@ func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, err
 	}
 	averageParams(final)
 	global.SetParamVector(final[0].net.ParamVector())
+	if rep != nil {
+		led := rep.Ledger()
+		stats.Quarantine = led
+		stats.Quarantines = led.Quarantines()
+		stats.Readmissions = led.Readmissions()
+		ins.quarantines.Add(int64(stats.Quarantines))
+		ins.readmissions.Add(int64(stats.Readmissions))
+	}
 	trainSpan.End(stats.SimSeconds)
 	ins.simSeconds.Set(stats.SimSeconds)
+	ins.aggSeconds.Set(stats.AggSeconds)
 	return global, stats, nil
 }
 
@@ -334,12 +367,14 @@ func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store
 
 // gradResult is one worker's contribution to a synchronous round.
 type gradResult struct {
-	wk       *worker
-	loss     float64
-	grad     []float64
-	seconds  float64 // simulated compute time incl. straggle factor
-	injected int     // numerical faults injected into this worker's batch
-	poisoned bool    // loss or gradient is non-finite
+	wk        *worker
+	loss      float64
+	grad      []float64
+	seconds   float64 // simulated compute time incl. straggle factor
+	injected  int     // numerical faults injected into this worker's batch
+	poisoned  bool    // loss or gradient is non-finite
+	byzantine bool    // gradient adversarially corrupted (finite, so it
+	// slips past the guard — only robust aggregation defends)
 }
 
 // computeGrads runs every active worker's forward/backward in parallel
@@ -365,6 +400,12 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 				inj.ShuffleLabels(by.Data, by.Dim(0), by.Dim(1), wk.id, round)
 				r.injected++
 			}
+			// Colluding workers poison their batch labels with a shared
+			// rotation before computing, so the coalition's gradients all
+			// push the same wrong way.
+			if inj.ColludesBatch(wk.id, round) {
+				inj.ColludeShuffleLabels(by.Data, by.Dim(0), by.Dim(1), round)
+			}
 			var loss float64
 			if localStep {
 				loss = wk.trainer.Step(bx, by)
@@ -375,6 +416,9 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 			r.loss = loss
 			if !localStep {
 				r.grad = wk.net.GradVector()
+				// Byzantine corruption happens on the upload, after the
+				// honest local computation; the result stays finite.
+				r.byzantine = inj.CorruptGradient(r.grad, wk.id, round)
 				r.poisoned = math.IsNaN(loss) || math.IsInf(loss, 0) || !tensor.AllFinite(r.grad)
 			}
 			r.seconds = prof.ComputeTime(flopsPerExample*int64(bx.Dim(0)), 0.5) * inj.StraggleFactor(wk.id, round)
@@ -388,14 +432,19 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 // syncRound executes one synchronous gradient-exchange round with fault
 // handling. Returns worker-ordered first participant's loss and whether the
 // round produced an update.
-func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, stats *Stats, span *obs.Span) (float64, bool) {
+func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats, span *obs.Span) (float64, bool) {
 	roundStart := stats.SimSeconds
+	rep.BeginRound(round)
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
 	net.obs.observeSteps(results)
 	straggled := false
 	for _, r := range results {
 		stats.NumericalFaults += r.injected
 		net.obs.numFaults.Add(int64(r.injected))
+		if r.byzantine {
+			stats.ByzantineAttacks++
+			net.obs.byzAttacks.Inc()
+		}
 		if r.seconds > net.prof.ComputeTime(flopsPerExample*int64(cfg.BatchSize), 0.5)*1.5 {
 			straggled = true
 		}
@@ -416,6 +465,23 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 			if r.poisoned {
 				stats.GuardSkipped++
 				net.obs.guardSkipped.Inc()
+				continue
+			}
+			kept = append(kept, r)
+		}
+		screened = kept
+	}
+
+	// Quarantine: workers the reputation tracker has excluded do not
+	// contribute this round. Their gradients are NOT folded into the
+	// residual — a quarantined gradient is suspect by definition, and
+	// deferring it would re-inject the poison on readmission.
+	if rep != nil {
+		kept := make([]gradResult, 0, len(screened))
+		for _, r := range screened {
+			if rep.Quarantined(r.wk.id) {
+				stats.QuarantineExcluded++
+				net.obs.quarExcluded.Inc()
 				continue
 			}
 			kept = append(kept, r)
@@ -460,8 +526,9 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 	// corrupted transmissions are retried with exponential backoff until
 	// the per-round retry budget runs out.
 	avgGrad := make([]float64, modelSize)
+	grads := make([][]float64, 0, len(included))
+	ids := make([]int, 0, len(included))
 	var computeS, uplinkS float64
-	received := 0
 	for _, r := range included {
 		if r.seconds > computeS {
 			computeS = r.seconds
@@ -486,20 +553,27 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 			}
 			continue
 		}
-		for i := range avgGrad {
-			avgGrad[i] += r.grad[i]
-		}
-		received++
+		grads = append(grads, r.grad)
+		ids = append(ids, r.wk.id)
 	}
 	stats.SimSeconds += computeS + uplinkS
 	computeSpan := span.Child("compute", roundStart)
 	computeSpan.End(roundStart + computeS)
-	if received == 0 {
+	if len(grads) == 0 {
 		return 0, false // every upload timed out: no update this round
 	}
-	for i := range avgGrad {
-		avgGrad[i] /= float64(received)
+	// Robust aggregation of the delivered gradients (worker-id order). An
+	// explicitly configured aggregator is charged its FLOPs cost on the
+	// simulated clock — robustness costs time, and X9 measures it.
+	if chargeAgg {
+		aggS := net.prof.ComputeTime(agg.FLOPs(len(grads), modelSize), 0.5)
+		aggSpan := span.Child("aggregate", roundStart+computeS+uplinkS)
+		aggSpan.End(roundStart + computeS + uplinkS + aggS)
+		stats.SimSeconds += aggS
+		stats.AggSeconds += aggS
 	}
+	agg.Aggregate(avgGrad, grads)
+	observeDistances(rep, ids, grads, avgGrad)
 
 	// Broadcast of the averaged (already compressed) update. The server
 	// persists until every live worker has the round's update.
@@ -567,15 +641,24 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 
 // averageRound is Local SGD's model-averaging exchange with fault
 // handling: every live worker ships its parameters up (with retries) and
-// receives the average back. Workers whose upload times out still receive
-// the average, which re-synchronises any post-crash drift.
-func averageRound(active []*worker, cfg Config, net *transport, round, modelSize int, stats *Stats) {
+// receives the aggregate back. Workers whose upload times out still
+// receive the aggregate, which re-synchronises any post-crash drift;
+// quarantined workers are excluded from contributing but receive it too,
+// so a readmitted worker rejoins in sync (mirroring the crash-rejoin
+// path). Byzantine workers corrupt their uploaded parameter vector.
+func averageRound(active []*worker, cfg Config, net *transport, round, modelSize int, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats) {
+	rep.BeginRound(round)
 	modelBytes := int64(modelSize) * wireBytesPerFloat
 	avg := make([]float64, modelSize)
-	received := 0
+	vecs := make([][]float64, 0, len(active))
+	ids := make([]int, 0, len(active))
 	var uplinkS float64
-	var scratch []float64
 	for _, wk := range active {
+		if rep.Quarantined(wk.id) {
+			stats.QuarantineExcluded++
+			net.obs.quarExcluded.Inc()
+			continue
+		}
 		ok, elapsed := net.send(wk.id, 2*round, modelBytes, stats)
 		if elapsed > uplinkS {
 			uplinkS = elapsed
@@ -585,19 +668,25 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 			net.obs.timeouts.Inc()
 			continue
 		}
-		scratch = wk.net.ParamVectorInto(scratch)
-		for i := range avg {
-			avg[i] += scratch[i]
+		v := wk.net.ParamVectorInto(nil)
+		if net.inj.CorruptGradient(v, wk.id, round) {
+			stats.ByzantineAttacks++
+			net.obs.byzAttacks.Inc()
 		}
-		received++
+		vecs = append(vecs, v)
+		ids = append(ids, wk.id)
 	}
 	stats.SimSeconds += uplinkS
-	if received == 0 {
+	if len(vecs) == 0 {
 		return
 	}
-	for i := range avg {
-		avg[i] /= float64(received)
+	if chargeAgg {
+		aggS := net.prof.ComputeTime(agg.FLOPs(len(vecs), modelSize), 0.5)
+		stats.SimSeconds += aggS
+		stats.AggSeconds += aggS
 	}
+	agg.Aggregate(avg, vecs)
+	observeDistances(rep, ids, vecs, avg)
 	var downlinkS float64
 	for _, wk := range active {
 		stats.BytesSent += modelBytes
@@ -611,6 +700,25 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 	stats.SimSeconds += downlinkS
 	stats.AveragingRound++
 	net.obs.rounds.Inc()
+}
+
+// observeDistances feeds the reputation tracker each contributor's
+// Euclidean distance to the aggregate (ids in worker-id order, matching
+// vecs). Nil-safe: without a tracker it is a no-op.
+func observeDistances(rep *robust.Reputation, ids []int, vecs [][]float64, aggregate []float64) {
+	if rep == nil || len(vecs) == 0 {
+		return
+	}
+	dists := make([]float64, len(vecs))
+	for i, v := range vecs {
+		var s float64
+		for j := range v {
+			d := v[j] - aggregate[j]
+			s += d * d
+		}
+		dists[i] = math.Sqrt(s)
+	}
+	rep.Observe(ids, dists)
 }
 
 // takeSnapshot captures the consensus model, possibly corrupting the
@@ -736,7 +844,19 @@ func averageParams(workers []*worker) {
 // PLACE (so the averaged gradient reflects what was actually communicated)
 // and returns the bytes a real system would send for it. A nil residual
 // disables error feedback (dropped coordinates are lost).
+//
+// Degenerate knobs clamp rather than misbehave: topK outside (0, 1) sends
+// the dense gradient (Train pre-clamps, but the function holds its own
+// contract), and the quantizer width is clamped to [1, 16] bits — 0 and
+// anything >= 32 disable quantization entirely.
 func compressGradient(g, residual []float64, topK float64, bits int) int64 {
+	if len(g) == 0 {
+		return 0
+	}
+	if topK <= 0 || topK > 1 {
+		topK = 1
+	}
+	bits = effectiveBits(bits)
 	// Error feedback: add back what previous rounds dropped.
 	if residual != nil {
 		for i := range g {
@@ -771,11 +891,11 @@ func compressGradient(g, residual []float64, topK float64, bits int) int64 {
 			}
 		}
 	}
-	if bits > 0 && bits < 32 {
+	if bits > 0 {
 		quantizeInPlace(g, bits)
 	}
 	valueBytes := int64(k) * wireBytesPerFloat
-	if bits > 0 && bits < 32 {
+	if bits > 0 {
 		valueBytes = (int64(k)*int64(bits) + 7) / 8
 	}
 	indexBytes := int64(0)
@@ -785,9 +905,30 @@ func compressGradient(g, residual []float64, topK float64, bits int) int64 {
 	return valueBytes + indexBytes
 }
 
+// effectiveBits maps the configured QuantBits to the width actually
+// applied: 0 (and anything >= 32) means "no quantization", negatives are
+// treated as disabled too, and widths above 16 clamp to 16 — the widest
+// the symmetric linear quantizer meaningfully supports on float32 wires.
+func effectiveBits(bits int) int {
+	if bits <= 0 || bits >= 32 {
+		return 0
+	}
+	if bits > 16 {
+		return 16
+	}
+	return bits
+}
+
 // quantizeInPlace applies symmetric linear quantization to the nonzero
-// entries of g.
+// entries of g. The width is clamped to [1, 16] so a degenerate caller
+// cannot trigger a negative shift.
 func quantizeInPlace(g []float64, bits int) {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 16 {
+		bits = 16
+	}
 	var m float64
 	for _, v := range g {
 		if a := math.Abs(v); a > m {
@@ -817,8 +958,8 @@ func perWorkerBroadcastBytes(avg []float64, cfg Config) int64 {
 		}
 	}
 	per := int64(nz) * wireBytesPerFloat
-	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
-		per = (int64(nz)*int64(cfg.QuantBits) + 7) / 8
+	if bits := effectiveBits(cfg.QuantBits); bits > 0 {
+		per = (int64(nz)*int64(bits) + 7) / 8
 	}
 	if cfg.TopK < 1 {
 		per += int64(nz) * 4

@@ -18,9 +18,11 @@ type distObs struct {
 	crashes, rejoins, restores, snapshots  *obs.Counter
 	stragglerRounds, excludedSlow          *obs.Counter
 	numFaults, guardSkipped, guardRestores *obs.Counter
+	byzAttacks, quarExcluded               *obs.Counter
+	quarantines, readmissions              *obs.Counter
 	rounds, steps                          *obs.Counter
 	bytesSent, snapshotBytes               *obs.Counter
-	simSeconds                             *obs.Gauge
+	simSeconds, aggSeconds                 *obs.Gauge
 
 	stepSeconds []*obs.Histogram // per-worker compute time, worker-id order
 }
@@ -47,11 +49,16 @@ func newDistObs(h *obs.Handle, workers int) *distObs {
 		numFaults:       h.Counter("distributed.numerical_faults"),
 		guardSkipped:    h.Counter("distributed.guard_skipped"),
 		guardRestores:   h.Counter("distributed.guard_restores"),
+		byzAttacks:      h.Counter("distributed.byzantine_attacks"),
+		quarExcluded:    h.Counter("distributed.quarantine_excluded"),
+		quarantines:     h.Counter("distributed.quarantines"),
+		readmissions:    h.Counter("distributed.readmissions"),
 		rounds:          h.Counter("distributed.averaging_rounds"),
 		steps:           h.Counter("distributed.steps"),
 		bytesSent:       h.Counter("distributed.bytes_sent"),
 		snapshotBytes:   h.Counter("distributed.snapshot_bytes"),
 		simSeconds:      h.Gauge("distributed.sim_seconds"),
+		aggSeconds:      h.Gauge("distributed.agg_seconds"),
 	}
 	d.stepSeconds = make([]*obs.Histogram, workers)
 	for w := range d.stepSeconds {

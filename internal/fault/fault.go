@@ -37,6 +37,22 @@ const (
 	KindBatchCorrupt // input batch poisoned with NaN/Inf/huge values
 	KindLabelNoise   // burst of shuffled labels (gradient poison without NaNs)
 	KindLRSpike      // learning rate transiently multiplied (divergence trigger)
+
+	// Byzantine fault classes: adversarial workers that stay up and
+	// responsive but submit poisoned contributions. Unlike the numerical
+	// classes above, these stay finite by construction, so they slip past
+	// NaN/Inf screens and must be defeated by robust aggregation
+	// (internal/robust) rather than finiteness guards.
+
+	KindSignFlip    // gradient negated and amplified (ascent instead of descent)
+	KindScaleAttack // gradient inflated by a large factor
+	KindDriftAttack // small consistent bias added each round (stealthy drift)
+	KindCollude     // fixed coalition coordinating amplified label-flip gradients
+
+	// kindEnd is one past the last declared kind. The exhaustiveness test
+	// iterates [KindCrash, kindEnd) and fails on any "unknown" rendering,
+	// so a new kind cannot silently print as unknown in ledgers.
+	kindEnd
 )
 
 // String names the kind for schedules and logs.
@@ -60,6 +76,14 @@ func (k Kind) String() string {
 		return "label-noise"
 	case KindLRSpike:
 		return "lr-spike"
+	case KindSignFlip:
+		return "sign-flip"
+	case KindScaleAttack:
+		return "scale-attack"
+	case KindDriftAttack:
+		return "drift-attack"
+	case KindCollude:
+		return "collude"
 	}
 	return "unknown"
 }
@@ -102,6 +126,36 @@ type Config struct {
 	// mis-applied schedule or config push.
 	LRSpikeProb   float64
 	LRSpikeFactor float64
+
+	// ByzantineWorkers lists the worker ids that behave adversarially: they
+	// stay up, compute on schedule, and answer every message, but the
+	// gradients (sync regime) or parameters (Local SGD regime) they upload
+	// are poisoned according to ByzantineKind. An empty list disables
+	// Byzantine behaviour.
+	ByzantineWorkers []int
+	// ByzantineKind selects the attack the adversaries mount: KindSignFlip,
+	// KindScaleAttack, KindDriftAttack, or KindCollude.
+	ByzantineKind Kind
+	// ByzantineRate is the per-round probability that each adversary
+	// attacks (0 means the default of 1: the adversary attacks every
+	// round). Draws are keyed by (ByzantineKind, worker, round), so which
+	// rounds are attacked is order-independent like every other fault.
+	ByzantineRate float64
+	// SignFlipFactor amplifies the negated gradient under KindSignFlip
+	// (default 100). A plain negation at f=1/8 workers still averages to a
+	// descent direction; the amplification is what makes the mean diverge.
+	SignFlipFactor float64
+	// ScaleAttackFactor inflates the gradient under KindScaleAttack
+	// (default 100).
+	ScaleAttackFactor float64
+	// DriftAttackBias is the per-coordinate magnitude of the constant,
+	// hash-signed bias vector added under KindDriftAttack (default 1.5).
+	// The direction is fixed per seed, so the attack drifts the model
+	// consistently while each poisoned gradient stays a plausible inlier.
+	DriftAttackBias float64
+	// ColludeBoost amplifies the coalition's coordinated label-flip
+	// gradients under KindCollude (default 50).
+	ColludeBoost float64
 }
 
 // Rate builds a Config in which one knob drives every fault class at
@@ -133,13 +187,28 @@ func NumericalRate(seed int64, rate float64) Config {
 	}
 }
 
+// Byzantine builds a Config in which only the listed workers misbehave,
+// mounting the given attack every round (rate 1). Attack magnitudes take
+// their documented defaults; callers tune the exported fields directly for
+// anything else.
+func Byzantine(seed int64, kind Kind, workers ...int) Config {
+	return Config{
+		Seed:             seed,
+		ByzantineWorkers: workers,
+		ByzantineKind:    kind,
+		ByzantineRate:    1,
+	}
+}
+
 // Enabled reports whether any fault class has nonzero probability.
 func (c Config) Enabled() bool {
 	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0 ||
-		c.BatchCorruptProb > 0 || c.LabelNoiseProb > 0 || c.LRSpikeProb > 0
+		c.BatchCorruptProb > 0 || c.LabelNoiseProb > 0 || c.LRSpikeProb > 0 ||
+		len(c.ByzantineWorkers) > 0
 }
 
-// Validate checks every probability is in [0, 1].
+// Validate checks every probability is in [0, 1] and that the Byzantine
+// configuration is coherent (a valid attack kind, non-negative worker ids).
 func (c Config) Validate() error {
 	for _, p := range []struct {
 		name string
@@ -148,23 +217,41 @@ func (c Config) Validate() error {
 		{"CrashProb", c.CrashProb}, {"StragglerProb", c.StragglerProb},
 		{"DropProb", c.DropProb}, {"CorruptProb", c.CorruptProb},
 		{"BatchCorruptProb", c.BatchCorruptProb}, {"LabelNoiseProb", c.LabelNoiseProb},
-		{"LRSpikeProb", c.LRSpikeProb},
+		{"LRSpikeProb", c.LRSpikeProb}, {"ByzantineRate", c.ByzantineRate},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return &ConfigError{Field: p.name, Value: p.v}
 		}
 	}
+	if len(c.ByzantineWorkers) > 0 {
+		if !IsByzantineKind(c.ByzantineKind) {
+			return &ConfigError{Field: "ByzantineKind", Value: float64(c.ByzantineKind),
+				Reason: "is not a Byzantine attack kind"}
+		}
+		for _, w := range c.ByzantineWorkers {
+			if w < 0 {
+				return &ConfigError{Field: "ByzantineWorkers", Value: float64(w),
+					Reason: "contains a negative worker id"}
+			}
+		}
+	}
 	return nil
 }
 
-// ConfigError reports an out-of-range fault probability.
+// ConfigError reports an invalid fault-config field: an out-of-range
+// probability unless Reason says otherwise.
 type ConfigError struct {
-	Field string
-	Value float64
+	Field  string
+	Value  float64
+	Reason string // defaults to "out of [0,1]" when empty
 }
 
 func (e *ConfigError) Error() string {
-	return "fault: " + e.Field + " out of [0,1]"
+	r := e.Reason
+	if r == "" {
+		r = "out of [0,1]"
+	}
+	return "fault: " + e.Field + " " + r
 }
 
 // Injector answers "does fault X happen at (worker, step, attempt)?"
