@@ -15,8 +15,17 @@ import (
 	"dlsys/internal/tensor"
 )
 
+// must unwraps (value, error) pairs whose arguments are valid by
+// construction; a failure is a test bug, so it panics.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // One benchmark per registered experiment — the claims (E1..E32), the
-// ablations (A1..A9), and the extensions (X1..X9) — each regenerating its
+// ablations (A1..A9), and the extensions (X1..X10) — each regenerating its
 // table at quick scale, so `go test -bench=E<k>$` reproduces any single
 // result and `-bench=.` reproduces them all.
 func benchExperiment(b *testing.B, id string) {
@@ -76,16 +85,17 @@ func BenchmarkA7(b *testing.B) { benchExperiment(b, "A7") }
 func BenchmarkA8(b *testing.B) { benchExperiment(b, "A8") }
 func BenchmarkA9(b *testing.B) { benchExperiment(b, "A9") }
 
-// Extensions X1..X9 — cited systems beyond the explicit claims.
-func BenchmarkX1(b *testing.B) { benchExperiment(b, "X1") }
-func BenchmarkX2(b *testing.B) { benchExperiment(b, "X2") }
-func BenchmarkX3(b *testing.B) { benchExperiment(b, "X3") }
-func BenchmarkX4(b *testing.B) { benchExperiment(b, "X4") }
-func BenchmarkX5(b *testing.B) { benchExperiment(b, "X5") }
-func BenchmarkX6(b *testing.B) { benchExperiment(b, "X6") }
-func BenchmarkX7(b *testing.B) { benchExperiment(b, "X7") }
-func BenchmarkX8(b *testing.B) { benchExperiment(b, "X8") }
-func BenchmarkX9(b *testing.B) { benchExperiment(b, "X9") }
+// Extensions X1..X10 — cited systems beyond the explicit claims.
+func BenchmarkX1(b *testing.B)  { benchExperiment(b, "X1") }
+func BenchmarkX2(b *testing.B)  { benchExperiment(b, "X2") }
+func BenchmarkX3(b *testing.B)  { benchExperiment(b, "X3") }
+func BenchmarkX4(b *testing.B)  { benchExperiment(b, "X4") }
+func BenchmarkX5(b *testing.B)  { benchExperiment(b, "X5") }
+func BenchmarkX6(b *testing.B)  { benchExperiment(b, "X6") }
+func BenchmarkX7(b *testing.B)  { benchExperiment(b, "X7") }
+func BenchmarkX8(b *testing.B)  { benchExperiment(b, "X8") }
+func BenchmarkX9(b *testing.B)  { benchExperiment(b, "X9") }
+func BenchmarkX10(b *testing.B) { benchExperiment(b, "X10") }
 
 // ---- micro-benchmarks for the hot paths underlying the experiments ----
 
@@ -136,7 +146,7 @@ func BenchmarkInt8Inference(b *testing.B) {
 
 func BenchmarkBTreeLookup(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
-	keys := data.GenerateKeys(rng, data.Uniform, 100000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
 	bt := db.BulkLoadBTree(keys)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -146,7 +156,7 @@ func BenchmarkBTreeLookup(b *testing.B) {
 
 func BenchmarkRMILookup(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
-	keys := data.GenerateKeys(rng, data.Uniform, 100000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
 	idx := learned.BuildRMI(keys, 512)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -156,8 +166,8 @@ func BenchmarkRMILookup(b *testing.B) {
 
 func BenchmarkBloomProbe(b *testing.B) {
 	rng := rand.New(rand.NewSource(7))
-	f := db.NewBloom(100000, 0.01)
-	keys := data.GenerateKeys(rng, data.Uniform, 100000)
+	f := must(db.NewBloom(100000, 0.01))
+	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
 	for _, k := range keys {
 		f.Add(k)
 	}
@@ -183,8 +193,8 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 // Sanity checks that the facade works; keeps the root package tested, not
 // only benchmarked.
 func TestFacade(t *testing.T) {
-	if got := len(Experiments()); got != 50 {
-		t.Fatalf("Experiments() returned %d, want 50 (32 claims + 9 ablations + 9 extensions)", got)
+	if got := len(Experiments()); got != 51 {
+		t.Fatalf("Experiments() returned %d, want 51 (32 claims + 9 ablations + 10 extensions)", got)
 	}
 	if got := len(Techniques()); got < 30 {
 		t.Fatalf("Techniques() returned %d, want >=30", got)
@@ -256,7 +266,7 @@ func BenchmarkCanopyWarmQuery(b *testing.B) {
 	for i := 0; i < 200000; i++ {
 		tab.Append(rng.NormFloat64())
 	}
-	c := db.NewCanopy(tab, 512)
+	c := must(db.NewCanopy(tab, 512))
 	c.Mean("x", 0, 200000) // warm every chunk
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,11 +4,13 @@
 //
 //	dlsys list                 # list all experiments with their claims
 //	dlsys techniques           # print the tradeoff framework
-//	dlsys run E13 [-full]      # run one experiment (E1..E32, A1..A9, X1..X9)
+//	dlsys run E13 [-full]      # run one experiment (E1..E32, A1..A9, X1..X10)
 //	dlsys run all [-full]      # run every experiment in order
+//	dlsys bench [-full] [-o f] # time the X10 chaos day, emit a JSON perf sample
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,8 @@ func main() {
 		techniques()
 	case "run":
 		run(os.Args[2:])
+	case "bench":
+		bench(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -36,7 +40,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X9|all> [-full]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X10|all> [-full] | dlsys bench [-full] [-o file] [-pr n] [-date d]")
 }
 
 func list() {
@@ -81,5 +85,41 @@ func run(args []string) {
 			os.Exit(1)
 		}
 		fmt.Println(tab.Render())
+	}
+}
+
+// bench times one composed production-day simulation (the X10 scenario)
+// and emits a JSON perf sample — the per-PR trajectory point CI records.
+func bench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	full := fs.Bool("full", false, "run at full (documented) problem sizes")
+	out := fs.String("o", "", "write the JSON sample to this file instead of stdout")
+	pr := fs.Int("pr", 0, "PR number to stamp into the sample (0 = omit)")
+	date := fs.String("date", "", "date to stamp into the sample (empty = omit)")
+	fs.Parse(args)
+
+	perf, err := dlsys.BenchmarkChaosDay(*full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec := struct {
+		PR   int    `json:"pr,omitempty"`
+		Date string `json:"date,omitempty"`
+		dlsys.ChaosDayPerf
+	}{*pr, *date, perf}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -37,8 +37,8 @@
 //
 // The tutorial publishes no tables or figures; its claims are reproduced
 // as 32 registered experiments (E1-E32), each regenerating a results
-// table, plus nine design-choice ablations (A1-A9) and nine extension
-// studies of cited systems (X1-X9). This package is the facade: list
+// table, plus nine design-choice ablations (A1-A9) and ten extension
+// studies of cited systems (X1-X10). This package is the facade: list
 // experiments, run them, and render their tables. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for expected-vs-measured shapes.
 package dlsys
@@ -61,7 +61,7 @@ type Experiment = core.Experiment
 type Technique = core.Technique
 
 // Experiments returns all registered experiments: the claim reproductions
-// E1..E32, then the ablations A1..A9, then the extensions X1..X9.
+// E1..E32, then the ablations A1..A9, then the extensions X1..X10.
 func Experiments() []Experiment { return core.All() }
 
 // ClaimExperiments returns only E1..E32, the tutorial-claim reproductions.
@@ -70,13 +70,29 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X9: cited systems implemented
+// ExtensionExperiments returns only X1..X10: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
 // Techniques returns the tradeoff classification of every implemented
 // technique — the organising framework of the tutorial.
 func Techniques() []Technique { return core.Techniques() }
+
+// ChaosDayPerf is the X10 composed production-day throughput sample
+// (re-exported from core): wall time and simulation-kernel event
+// throughput for one full scenario run.
+type ChaosDayPerf = core.ChaosDayPerf
+
+// BenchmarkChaosDay times one composed production-day simulation (the X10
+// scenario: training + serving on one kernel under scheduled chaos) and
+// returns the perf-trajectory sample CI records per PR.
+func BenchmarkChaosDay(full bool) (ChaosDayPerf, error) {
+	scale := core.Quick
+	if full {
+		scale = core.Full
+	}
+	return core.ChaosDayBenchmark(scale)
+}
 
 // PipelineSpec declares a train/compress/deploy pipeline (re-exported from
 // pipeline); zero-valued stages are skipped.
@@ -94,13 +110,13 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 	return pipeline.Compare(specs...)
 }
 
-// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X9").
+// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X10").
 // With full set, problem sizes match the documented tables; otherwise a
 // quick scale keeps runs in the low seconds.
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X9)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X10)", id)
 	}
 	scale := core.Quick
 	if full {

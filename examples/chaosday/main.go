@@ -1,0 +1,146 @@
+// Chaosday: a "day in production" on one simulation kernel. A guarded,
+// Byzantine-robust distributed training job and a multi-tier serving fleet
+// share a single discrete-event clock while a declarative fault schedule
+// walks the day through a crash-looping worker, a straggler window, a
+// flash crowd, a Byzantine coalition, and a numerical-fault burst. The
+// demo prints the day's timeline, what the chaos did to each subsystem,
+// and the replay fingerprints of two identical runs — metrics, traces,
+// request ledger, quarantine ledger, and the kernel's own event log all
+// match bit for bit.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlsys/internal/data"
+	"dlsys/internal/device"
+	"dlsys/internal/distributed"
+	"dlsys/internal/fault"
+	"dlsys/internal/guard"
+	"dlsys/internal/nn"
+	"dlsys/internal/obs"
+	"dlsys/internal/robust"
+	"dlsys/internal/serve"
+	"dlsys/internal/sim"
+)
+
+type day struct {
+	stats distributed.Stats
+	res   serve.Result
+
+	events                                   int
+	regFP, traceFP, serveFP, repFP, kernelFP uint64
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(300))
+	ds := data.GaussianMixture(rng, 480, 6, 3, 3.2)
+	train, _ := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, 3)
+	arch := nn.MLPConfig{In: 6, Hidden: []int{24}, Out: 3}
+
+	base := distributed.Config{
+		Workers: 8, Arch: arch, Epochs: 10, BatchSize: 16, LR: 0.1,
+		AveragePeriod: 1, SnapshotPeriod: 3,
+		Aggregator: robust.CoordMedian{},
+		Guard:      &guard.Policy{Mode: guard.Enforce},
+	}
+
+	// A fault-free probe fixes the day length the schedule is laid out on.
+	_, probe, err := distributed.Train(301, train.X, y, base)
+	check(err)
+	dayS := probe.SimSeconds
+	fmt.Printf("scheduled day: %.4g simulated seconds (fault-free probe)\n\n", dayS)
+
+	variants, eval, err := serve.BuildVariants(serve.VariantsConfig{Seed: 310, Examples: 480, Epochs: 10})
+	check(err)
+	mk := func(v serve.Variant) serve.Replica {
+		return serve.Replica{Variant: v, Device: device.EdgeDevice, Efficiency: 0.5}
+	}
+	fleet := []serve.Replica{mk(variants[0]), mk(variants[0]), mk(variants[1]), mk(variants[2]), mk(variants[3])}
+	requests := 600
+
+	run := func(h *obs.Handle) day {
+		k := sim.New()
+
+		cfg := base
+		cfg.Kernel = k
+		cfg.Obs = h
+		cfg.Reputation = &robust.ReputationConfig{}
+		cfg.Fault = fault.Config{Seed: 302, Schedule: []fault.Window{
+			{Kind: fault.KindCrash, Workers: []int{3}, StartS: 0.05 * dayS, EndS: 0.20 * dayS, Prob: 0.6},
+			{Kind: fault.KindStraggle, StartS: 0.20 * dayS, EndS: 0.45 * dayS, Prob: 0.4, Factor: 4},
+			{Kind: fault.KindSignFlip, Workers: []int{5, 6}, StartS: 0.50 * dayS},
+			{Kind: fault.KindBatchCorrupt, StartS: 0.70 * dayS, EndS: 0.95 * dayS, Prob: 0.5},
+		}}
+		job, err := distributed.NewJob(301, train.X, y, cfg)
+		check(err)
+
+		srv, err := serve.NewServer(serve.Config{
+			Seed:     312,
+			Kernel:   k,
+			Obs:      h,
+			Replicas: fleet,
+			Faults: fault.Config{Seed: 311, Schedule: []fault.Window{
+				{Kind: fault.KindCrash, Workers: []int{1}, StartS: 0.15 * dayS, EndS: 0.25 * dayS, Prob: 0.05},
+				{Kind: fault.KindArrival, StartS: 0.30 * dayS, EndS: 0.40 * dayS, Factor: 6},
+				{Kind: fault.KindStraggle, StartS: 0.55 * dayS, EndS: 0.70 * dayS, Prob: 0.3, Factor: 6},
+			}},
+			ArrivalRate:   float64(requests) / dayS,
+			Requests:      requests,
+			HedgeQuantile: 0.9,
+			Fallback:      true,
+			EvalX:         eval.X,
+			EvalLabels:    eval.Labels,
+		})
+		check(err)
+
+		// Both subsystems schedule their first event, then one kernel loop
+		// interleaves the entire day deterministically.
+		job.Start()
+		srv.Start()
+		events := k.Run()
+
+		_, stats, err := job.Result()
+		check(err)
+		res := srv.Result()
+		d := day{stats: stats, res: res, events: events,
+			regFP: h.Reg.Fingerprint(), traceFP: h.Tracer.Fingerprint(),
+			serveFP: res.Fingerprint(), kernelFP: k.Fingerprint()}
+		if stats.Quarantine != nil {
+			d.repFP = stats.Quarantine.Fingerprint()
+		}
+		return d
+	}
+
+	d := run(obs.NewHandle())
+	fmt.Printf("the day, as simulated (%d kernel events):\n", d.events)
+	fmt.Printf("  training: steps=%d sim=%.4gs crashes=%d rejoins=%d straggler_rounds=%d\n",
+		d.stats.Steps, d.stats.SimSeconds, d.stats.Crashes, d.stats.Rejoins, d.stats.StragglerRounds)
+	fmt.Printf("            byzantine_attacks=%d numerical_faults=%d guard_skipped=%d\n",
+		d.stats.ByzantineAttacks, d.stats.NumericalFaults, d.stats.GuardSkipped)
+	fmt.Printf("            quarantines=%d offenders=[%s] readmissions=%d\n",
+		d.stats.Quarantines, d.stats.Quarantine.OffenderString(), d.stats.Readmissions)
+	degraded := d.res.Served - d.res.TierCounts[serve.TierFull]
+	fmt.Printf("  serving:  served=%d/%d (availability %.3f) shed=%d failed=%d\n",
+		d.res.Served, requests, d.res.Availability, d.res.Shed, d.res.Failed)
+	fmt.Printf("            flash crowd absorbed by degrading %d requests to cheaper tiers; hedges=%d\n",
+		degraded, d.res.HedgesLaunched)
+	fmt.Printf("            tier mix: full=%d quantized=%d distilled=%d pruned=%d, mix accuracy %.3f\n\n",
+		d.res.TierCounts[0], d.res.TierCounts[1], d.res.TierCounts[2], d.res.TierCounts[3], d.res.MixAccuracy)
+
+	d2 := run(obs.NewHandle())
+	fmt.Println("replaying the identical day:")
+	fmt.Printf("  metrics    %016x == %016x: %v\n", d.regFP, d2.regFP, d.regFP == d2.regFP)
+	fmt.Printf("  traces     %016x == %016x: %v\n", d.traceFP, d2.traceFP, d.traceFP == d2.traceFP)
+	fmt.Printf("  requests   %016x == %016x: %v\n", d.serveFP, d2.serveFP, d.serveFP == d2.serveFP)
+	fmt.Printf("  quarantine %016x == %016x: %v\n", d.repFP, d2.repFP, d.repFP == d2.repFP)
+	fmt.Printf("  kernel log %016x == %016x: %v\n", d.kernelFP, d2.kernelFP, d.kernelFP == d2.kernelFP)
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

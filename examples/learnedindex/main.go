@@ -17,7 +17,10 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	const n = 200000
 	for _, dist := range []data.KeyDistribution{data.Uniform, data.ZipfGaps, data.Lognormal} {
-		keys := data.GenerateKeys(rng, dist, n)
+		keys, err := data.GenerateKeys(rng, dist, n)
+		if err != nil {
+			panic(err)
+		}
 		bt := db.BulkLoadBTree(keys)
 		rmi := learned.BuildRMI(keys, 1024)
 
@@ -52,12 +55,18 @@ func main() {
 	// Learned Bloom filter on clustered keys.
 	keys := learned.ClusteredKeys(rng, 10000, 4, 1<<30)
 	negs := data.NegativeKeys(rng, keys, 10000)
-	lb := learned.BuildLearnedBloom(rng, keys, negs, learned.LearnedBloomConfig{
+	lb, err := learned.BuildLearnedBloom(rng, keys, negs, learned.LearnedBloomConfig{
 		Hidden: 12, Epochs: 40, LR: 0.01, TargetFPR: 0.03, BackupFPR: 0.03,
 	})
+	if err != nil {
+		panic(err)
+	}
 	testNegs := data.NegativeKeys(rng, keys, 40000)
 	fpr := lb.MeasuredFPR(testNegs)
-	classic := db.NewBloom(len(keys), maxf(fpr, 1e-4))
+	classic, err := db.NewBloom(len(keys), maxf(fpr, 1e-4))
+	if err != nil {
+		panic(err)
+	}
 	for _, k := range keys {
 		classic.Add(k)
 	}

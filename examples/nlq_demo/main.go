@@ -46,8 +46,13 @@ func main() {
 	kb := &nlq.KeywordBaseline{Schema: schema}
 	for _, q := range questions {
 		parsed := parser.Parse(q)
-		ans := parsed.Execute(tab)
-		kbAns := kb.Parse(q).Execute(tab)
+		ans, err := parsed.Execute(tab)
+		if err != nil {
+			fmt.Printf("Q: %s\n   -> rejected: %v\n", q, err)
+			continue
+		}
+		// The keyword baseline always emits schema columns, so its query runs.
+		kbAns, _ := kb.Parse(q).Execute(tab)
 		marker := " "
 		if kbAns != ans {
 			marker = "*" // keyword baseline got this one wrong

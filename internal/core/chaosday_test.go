@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+// TestX10ProductionDayClaims pins the X10 acceptance criteria: the
+// composed production day — guarded Byzantine-robust training and the
+// serving fleet on one simulation kernel, under the scheduled chaos of
+// crashes, stragglers, a flash crowd, a Byzantine coalition, and a
+// numerical-fault burst — holds all four global invariants: availability
+// above the floor with the load spike visibly absorbed by tier
+// degradation, no silent training divergence with guard and quarantine
+// incidents reconciling with the schedule, exact cross-subsystem
+// counter-vs-ledger reconciliation on the shared registry, and
+// bit-identical metric/trace/ledger/kernel fingerprints across two runs.
+// Every check is on deterministic simulated quantities, so one run
+// suffices.
+func TestX10ProductionDayClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X10 composed day skipped in -short mode")
+	}
+	e, ok := Get("X10")
+	if !ok {
+		t.Fatal("X10 not registered")
+	}
+	tab := e.Run(Quick)
+	t.Log("\n" + tab.Render())
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+
+	wantChecks := []string{
+		"timeline", "chaos-observed",
+		"invariant-1-availability", "invariant-2-integrity",
+		"invariant-3-reconcile", "invariant-4-replay",
+	}
+	if len(tab.Rows) != len(wantChecks) {
+		t.Fatalf("X10 produced %d rows, want %d: %v", len(tab.Rows), len(wantChecks), tab.Rows)
+	}
+	for i, row := range tab.Rows {
+		if row[col["check"]] != wantChecks[i] {
+			t.Errorf("row %d is %q, want %q", i, row[col["check"]], wantChecks[i])
+			continue
+		}
+		if row[col["ok"]] != "yes" {
+			t.Errorf("%s failed: %s", row[col["check"]], row[col["detail"]])
+		}
+	}
+}
+
+// TestChaosDayBenchmark checks the perf-trajectory sample the CI bench
+// step records: a finite wall time and a kernel-event throughput
+// consistent with the processed-event count.
+func TestChaosDayBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X10 bench sample skipped in -short mode")
+	}
+	perf, err := ChaosDayBenchmark(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.WallS <= 0 || perf.Events <= 0 {
+		t.Fatalf("degenerate sample %+v", perf)
+	}
+	if got := perf.EventsPerSec * perf.WallS; got < float64(perf.Events)*0.99 || got > float64(perf.Events)*1.01 {
+		t.Fatalf("throughput %g inconsistent with events=%d wall=%gs", perf.EventsPerSec, perf.Events, perf.WallS)
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dlsys/internal/data"
+	"dlsys/internal/device"
+	"dlsys/internal/distributed"
+	"dlsys/internal/fault"
+	"dlsys/internal/guard"
+	"dlsys/internal/nn"
+	"dlsys/internal/obs"
+	"dlsys/internal/robust"
+	"dlsys/internal/serve"
+	"dlsys/internal/sim"
+)
+
+// X10 composes the whole stack into one "day in production": a guarded,
+// Byzantine-robust distributed training job and a multi-tier serving fleet
+// share a single discrete-event kernel, while a declarative fault schedule
+// walks the day through scheduled crashes, a straggler window, a flash
+// crowd on the serving side, an open-ended Byzantine coalition, and a
+// numerical-fault burst. Four global invariants are checked across the
+// composed system: (1) serving availability stays above a floor for the
+// whole day; (2) training does not silently diverge — the final held-out
+// loss stays within a small factor of the fault-free baseline, and every
+// guard/quarantine incident reconciles with a scheduled fault; (3) the
+// shared metric registry reconciles EXACTLY with both subsystems' own
+// ledgers; (4) the full day — metrics, traces, request ledger, quarantine
+// ledger, and the kernel's event log — replays bit-identically.
+
+func init() {
+	register(Experiment{
+		ID: "X10", Section: "3",
+		Title: "A day in production: composed training + serving under scheduled chaos",
+		Claim: "Training and serving composed on one simulation kernel survive a scheduled day of crashes, stragglers, a flash crowd, a Byzantine coalition, and a numerical-fault burst: availability holds a floor, training does not silently diverge, every counter reconciles exactly with the subsystem ledgers, and the whole day replays bit-identically",
+		Run:   runX10,
+	})
+}
+
+const (
+	// x10AvailabilityFloor is the fraction of the day's requests that must
+	// be served despite the scheduled chaos.
+	x10AvailabilityFloor = 0.75
+	// x10DivergenceCap bounds the final held-out loss relative to the
+	// fault-free baseline: past it, training silently diverged.
+	x10DivergenceCap = 5.0
+	// x10LossFloor keeps the divergence ratio meaningful when the
+	// fault-free loss is very small.
+	x10LossFloor = 0.02
+)
+
+// chaosDay is the outcome of one composed production-day run.
+type chaosDay struct {
+	stats distributed.Stats
+	res   serve.Result
+	loss  float64 // held-out loss of the final consensus model
+
+	processed int
+	actors    []string
+
+	regFP, traceFP, serveFP, repFP, kernelFP uint64
+
+	reconciled bool
+	detail     string
+}
+
+// x10Scenario is the composed production day, fixed at construction time:
+// the day length and every fault window derive from a fault-free probe of
+// the same training job, so the schedule lands inside the run and run() is
+// a pure function of its handle — the replay invariant depends on that.
+type x10Scenario struct {
+	dayS      float64 // fault-free training duration = the scheduled day
+	cleanLoss float64 // held-out loss of the fault-free probe
+	requests  int
+	rate      float64
+	run       func(h *obs.Handle) (*chaosDay, error)
+}
+
+func newX10Scenario(scale Scale) (*x10Scenario, error) {
+	n, epochs, requests := 480, 10, 600
+	if scale == Full {
+		n, epochs, requests = 1600, 16, 2400
+	}
+	rng := rand.New(rand.NewSource(200))
+	ds := data.GaussianMixture(rng, n, 6, 3, 3.2)
+	train, test := ds.Split(rng, 0.8)
+	y := nn.OneHot(train.Labels, 3)
+	testY := nn.OneHot(test.Labels, 3)
+	arch := nn.MLPConfig{In: 6, Hidden: []int{24}, Out: 3}
+
+	heldOut := func(net *nn.Network) float64 {
+		tr := nn.NewTrainer(net, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(0), rand.New(rand.NewSource(1)))
+		return tr.ComputeGrad(test.X, testY)
+	}
+
+	baseTrain := distributed.Config{
+		Workers: 8, Arch: arch, Epochs: epochs, BatchSize: 16, LR: 0.1,
+		AveragePeriod: 1, SnapshotPeriod: 3,
+		Aggregator: robust.CoordMedian{},
+		Guard:      &guard.Policy{Mode: guard.Enforce},
+	}
+
+	// Fault-free probe: fixes the day length the schedule is laid out on
+	// (faults only lengthen the day, so windows placed inside the probe
+	// duration land inside the real run) and the divergence baseline.
+	probeNet, probeStats, err := distributed.Train(201, train.X, y, baseTrain)
+	if err != nil {
+		return nil, fmt.Errorf("x10 probe: %w", err)
+	}
+	day := probeStats.SimSeconds
+	cleanLoss := math.Max(heldOut(probeNet), x10LossFloor)
+
+	variants, eval, err := serve.BuildVariants(serve.VariantsConfig{
+		Seed: 210, Examples: n, Epochs: epochs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("x10 variants: %w", err)
+	}
+	mk := func(v serve.Variant) serve.Replica {
+		return serve.Replica{Variant: v, Device: device.EdgeDevice, Efficiency: 0.5}
+	}
+	fleet := []serve.Replica{mk(variants[0]), mk(variants[0]), mk(variants[1]), mk(variants[2]), mk(variants[3])}
+	// The serving day spans the training day: fixed request count, rate
+	// derived from the probe duration.
+	rate := float64(requests) / day
+
+	// The production-day schedule, in absolute kernel seconds. Training and
+	// serving each get their own injector (separate seeds, separate draw
+	// streams) but the windows are laid out on the one shared timeline.
+	trainFaults := fault.Config{Seed: 202, Schedule: []fault.Window{
+		// Morning: worker 3 crash-loops, rejoining from snapshots.
+		{Kind: fault.KindCrash, Workers: []int{3}, StartS: 0.05 * day, EndS: 0.20 * day, Prob: 0.6},
+		// Midday: cluster-wide straggler weather.
+		{Kind: fault.KindStraggle, StartS: 0.20 * day, EndS: 0.45 * day, Prob: 0.4, Factor: 4},
+		// Afternoon, open-ended: workers 5 and 6 turn Byzantine.
+		{Kind: fault.KindSignFlip, Workers: []int{5, 6}, StartS: 0.50 * day},
+		// Evening: a numerical-fault burst the guard must screen.
+		{Kind: fault.KindBatchCorrupt, StartS: 0.70 * day, EndS: 0.95 * day, Prob: 0.5},
+	}}
+	serveFaults := fault.Config{Seed: 211, Schedule: []fault.Window{
+		// Mid-morning: replica 1 becomes crash-prone.
+		{Kind: fault.KindCrash, Workers: []int{1}, StartS: 0.15 * day, EndS: 0.25 * day, Prob: 0.05},
+		// Midday flash crowd: arrivals spike 6x.
+		{Kind: fault.KindArrival, StartS: 0.30 * day, EndS: 0.40 * day, Factor: 6},
+		// Afternoon: fleet-wide straggling.
+		{Kind: fault.KindStraggle, StartS: 0.55 * day, EndS: 0.70 * day, Prob: 0.3, Factor: 6},
+	}}
+
+	run := func(h *obs.Handle) (*chaosDay, error) {
+		k := sim.New()
+
+		trainCfg := baseTrain
+		trainCfg.Fault = trainFaults
+		trainCfg.Reputation = &robust.ReputationConfig{}
+		trainCfg.Obs = h
+		trainCfg.Kernel = k
+		job, err := distributed.NewJob(201, train.X, y, trainCfg)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := serve.NewServer(serve.Config{
+			Seed:          212,
+			Faults:        serveFaults,
+			Replicas:      fleet,
+			ArrivalRate:   rate,
+			Requests:      requests,
+			HedgeQuantile: 0.9,
+			Fallback:      true,
+			EvalX:         eval.X,
+			EvalLabels:    eval.Labels,
+			Obs:           h,
+			Kernel:        k,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Both subsystems schedule their first event at t=0, then the
+		// kernel interleaves the whole day deterministically.
+		job.Start()
+		srv.Start()
+		k.Run()
+
+		net, stats, err := job.Result()
+		if err != nil {
+			return nil, err
+		}
+		res := srv.Result()
+
+		d := &chaosDay{
+			stats:     stats,
+			res:       res,
+			loss:      heldOut(net),
+			processed: k.Processed(),
+			actors:    k.Actors(),
+			serveFP:   res.Fingerprint(),
+			kernelFP:  k.Fingerprint(),
+		}
+		if stats.Quarantine != nil {
+			d.repFP = stats.Quarantine.Fingerprint()
+		}
+		if h == nil {
+			d.reconciled = true
+			return d, nil
+		}
+		d.regFP = h.Reg.Fingerprint()
+		d.traceFP = h.Tracer.Fingerprint()
+
+		// Invariant 3: every counter on the SHARED registry reconciles
+		// exactly with the subsystem's own ledger — both subsystems wrote
+		// into one handle for the whole day.
+		r := &reconciler{h: h}
+		r.eq("distributed.retransmissions", int64(stats.Retransmissions))
+		r.eq("distributed.dropped_messages", int64(stats.DroppedMessages))
+		r.eq("distributed.corruptions", int64(stats.Corruptions))
+		r.eq("distributed.timeouts", int64(stats.Timeouts))
+		r.eq("distributed.crashes", int64(stats.Crashes))
+		r.eq("distributed.rejoins", int64(stats.Rejoins))
+		r.eq("distributed.restores", int64(stats.Restores))
+		r.eq("distributed.snapshots", int64(stats.Snapshots))
+		r.eq("distributed.snapshot_bytes", stats.SnapshotBytes)
+		r.eq("distributed.straggler_rounds", int64(stats.StragglerRounds))
+		r.eq("distributed.excluded_slow", int64(stats.ExcludedSlow))
+		r.eq("distributed.numerical_faults", int64(stats.NumericalFaults))
+		r.eq("distributed.guard_skipped", int64(stats.GuardSkipped))
+		r.eq("distributed.guard_restores", int64(stats.GuardRestores))
+		r.eq("distributed.averaging_rounds", int64(stats.AveragingRound))
+		r.eq("distributed.steps", int64(stats.Steps))
+		r.eq("distributed.bytes_sent", stats.BytesSent)
+		r.gaugeEq("distributed.sim_seconds", stats.SimSeconds)
+		r.eq("serve.served", int64(res.Served))
+		r.eq("serve.shed", int64(res.Shed))
+		r.eq("serve.failed", int64(res.Failed))
+		r.eq("serve.hedges_launched", int64(res.HedgesLaunched))
+		r.eq("serve.hedge_wins", int64(res.HedgeWins))
+		r.eq("serve.breaker_opened", int64(res.BreakerOpened))
+		r.eq("serve.breaker_reclosed", int64(res.BreakerReclosed))
+		for tier := serve.TierFull; tier < serve.Tier(4); tier++ {
+			r.eq("serve.tier."+tier.String()+".served", int64(res.TierCounts[tier]))
+			hist := h.Reg.Histogram("serve.tier."+tier.String()+".latency_seconds", nil)
+			r.check(hist.Count() == int64(res.TierCounts[tier]),
+				fmt.Sprintf("tier %s latency count %d want %d", tier, hist.Count(), res.TierCounts[tier]))
+			var want float64
+			for _, rec := range res.Records {
+				if rec.Outcome == serve.Served && rec.Tier == tier {
+					want += rec.LatencyS
+				}
+			}
+			r.check(hist.Sum() == want,
+				fmt.Sprintf("tier %s latency sum %g want %g", tier, hist.Sum(), want))
+		}
+		r.check(h.Tracer.Len() > 0, "no spans recorded")
+		d.reconciled, d.detail = r.result()
+		return d, nil
+	}
+
+	return &x10Scenario{dayS: day, cleanLoss: cleanLoss, requests: requests, rate: rate, run: run}, nil
+}
+
+// offendersWithin reports whether every quarantined worker is in the
+// scheduled coalition (nil ledger = nobody quarantined = vacuously true).
+func offendersWithin(led *robust.Ledger, coalition ...int) bool {
+	if led == nil {
+		return true
+	}
+	for _, w := range led.Offenders() {
+		ok := false
+		for _, c := range coalition {
+			if w == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func runX10(scale Scale) *Table {
+	t := &Table{ID: "X10", Title: "A day in production",
+		Claim:   "composed training + serving on one kernel survive scheduled chaos: availability floor holds, no silent training divergence, exact cross-subsystem reconciliation, bit-identical replay",
+		Columns: []string{"check", "detail", "ok"}}
+
+	sc, err := newX10Scenario(scale)
+	if err != nil {
+		t.AddRow("scenario", err.Error(), yesNo(false))
+		t.Shape = "scenario construction failed"
+		return t
+	}
+
+	h1 := obs.NewHandle()
+	d1, err1 := sc.run(h1)
+	h2 := obs.NewHandle()
+	d2, err2 := sc.run(h2)
+	if err1 != nil || err2 != nil {
+		t.AddRow("run", fmt.Sprintf("%v / %v", err1, err2), yesNo(false))
+		t.Shape = "composed run failed"
+		return t
+	}
+
+	t.AddRow("timeline",
+		fmt.Sprintf("day=%.4gs sim=%.4gs events=%d actors=%v",
+			sc.dayS, d1.stats.SimSeconds, d1.processed, d1.actors),
+		yesNo(d1.processed > 0 && len(d1.actors) == 2))
+
+	t.AddRow("chaos-observed",
+		fmt.Sprintf("crashes=%d straggler_rounds=%d byzantine=%d numerical=%d guard_skipped=%d quarantines=%d offenders=%s",
+			d1.stats.Crashes, d1.stats.StragglerRounds, d1.stats.ByzantineAttacks,
+			d1.stats.NumericalFaults, d1.stats.GuardSkipped,
+			d1.stats.Quarantines, d1.stats.Quarantine.OffenderString()),
+		yesNo(d1.stats.Crashes > 0 && d1.stats.StragglerRounds > 0 &&
+			d1.stats.ByzantineAttacks > 0 && d1.stats.NumericalFaults > 0))
+
+	avail := d1.res.Availability
+	complete := d1.res.Served+d1.res.Shed+d1.res.Failed == sc.requests
+	// The flash crowd pushes the top tier past capacity; the fleet must
+	// absorb it by degrading some requests to cheaper tiers (or shedding)
+	// rather than failing — degraded > 0 is the evidence the spike bit.
+	degraded := d1.res.Served - d1.res.TierCounts[serve.TierFull]
+	okAvail := avail >= x10AvailabilityFloor && complete && degraded > 0
+	t.AddRow("invariant-1-availability",
+		fmt.Sprintf("availability=%.4g floor=%.4g served=%d shed=%d failed=%d of %d degraded=%d hedges=%d",
+			avail, x10AvailabilityFloor, d1.res.Served, d1.res.Shed, d1.res.Failed,
+			sc.requests, degraded, d1.res.HedgesLaunched),
+		yesNo(okAvail))
+
+	ratio := d1.loss / sc.cleanLoss
+	okLoss := !math.IsNaN(ratio) && !math.IsInf(ratio, 0) && ratio <= x10DivergenceCap
+	// Guard incidents must reconcile with the injected faults: the guard
+	// only fires where the schedule poisoned a batch, and the quarantine
+	// ledger names only scheduled coalition members.
+	okIncidents := d1.stats.GuardSkipped > 0 &&
+		d1.stats.GuardSkipped <= d1.stats.NumericalFaults &&
+		d1.stats.Quarantines >= 1 &&
+		offendersWithin(d1.stats.Quarantine, 5, 6)
+	t.AddRow("invariant-2-integrity",
+		fmt.Sprintf("held_out=%.4g clean=%.4g ratio=%.4g cap=%.4g", d1.loss, sc.cleanLoss, ratio, x10DivergenceCap),
+		yesNo(okLoss && okIncidents))
+
+	detail := d1.detail
+	if detail == "" {
+		detail = "every counter exact on the shared registry"
+	}
+	t.AddRow("invariant-3-reconcile", detail, yesNo(d1.reconciled && d2.reconciled))
+
+	replay := d1.regFP == d2.regFP && d1.traceFP == d2.traceFP &&
+		d1.serveFP == d2.serveFP && d1.repFP == d2.repFP && d1.kernelFP == d2.kernelFP
+	t.AddRow("invariant-4-replay",
+		fmt.Sprintf("reg=%016x trace=%016x ledger=%016x quarantine=%016x kernel=%016x",
+			d1.regFP, d1.traceFP, d1.serveFP, d1.repFP, d1.kernelFP),
+		yesNo(replay))
+
+	t.Shape = "one shared kernel drives both subsystems through the scheduled day; availability holds the floor, training stays near the fault-free loss with guard and quarantine incidents matching the schedule, all counters reconcile exactly, and every fingerprint replays bit-identically"
+	return t
+}
+
+// ChaosDayPerf is one X10 performance sample: how fast the composed
+// simulation runs. The CI bench step appends these to the repo's
+// performance trajectory (BENCH_X10.json).
+type ChaosDayPerf struct {
+	WallS        float64 `json:"wall_s"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// ChaosDayBenchmark times one uninstrumented composed production day and
+// reports kernel-event throughput. Scenario construction (the probe run,
+// variant training) is excluded: the sample measures the composed
+// simulation itself.
+func ChaosDayBenchmark(scale Scale) (ChaosDayPerf, error) {
+	sc, err := newX10Scenario(scale)
+	if err != nil {
+		return ChaosDayPerf{}, err
+	}
+	start := time.Now()
+	d, err := sc.run(nil)
+	if err != nil {
+		return ChaosDayPerf{}, err
+	}
+	wall := time.Since(start).Seconds()
+	return ChaosDayPerf{WallS: wall, Events: d.processed, EventsPerSec: float64(d.processed) / wall}, nil
+}

@@ -56,7 +56,10 @@ func runX1(scale Scale) *Table {
 	}
 	t := &Table{ID: "X1", Title: "Statistics cache", Claim: "work reuse across overlapping queries",
 		Columns: []string{"queries_so_far", "canopy_rows_scanned", "naive_rows_scanned", "saving"}}
-	c := db.NewCanopy(tab, 512)
+	c, err := db.NewCanopy(tab, 512)
+	if err != nil {
+		panic(err) // positive chunk size
+	}
 	var naive int64
 	for q := 1; q <= queries; q++ {
 		lo := rng.Intn(n / 2)

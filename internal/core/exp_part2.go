@@ -71,7 +71,10 @@ func runE13(scale Scale) *Table {
 		Columns: []string{"distribution", "keys", "btree_kb", "rmi_kb", "size_ratio", "max_window", "all_found"}}
 	rng := rand.New(rand.NewSource(40))
 	for _, dist := range []data.KeyDistribution{data.Uniform, data.ZipfGaps, data.Lognormal} {
-		keys := data.GenerateKeys(rng, dist, n)
+		keys, err := data.GenerateKeys(rng, dist, n)
+		if err != nil {
+			panic(err) // dist ranges over the supported set
+		}
 		bt := db.BulkLoadBTree(keys)
 		rmi := learned.BuildRMI(keys, 512)
 		found := true
@@ -100,11 +103,17 @@ func runE14(scale Scale) *Table {
 	trainNegs := data.NegativeKeys(rng, keys, n)
 	testNegs := data.NegativeKeys(rng, keys, 4*n)
 
-	lb := learned.BuildLearnedBloom(rng, keys, trainNegs, learned.LearnedBloomConfig{
+	lb, err := learned.BuildLearnedBloom(rng, keys, trainNegs, learned.LearnedBloomConfig{
 		Hidden: 12, Epochs: 40, LR: 0.01, TargetFPR: 0.03, BackupFPR: 0.03,
 	})
+	if err != nil {
+		panic(err) // BackupFPR is a fixed in-range constant
+	}
 	lfpr := lb.MeasuredFPR(testNegs)
-	classic := db.NewBloom(len(keys), math.Max(lfpr, 1e-4))
+	classic, err := db.NewBloom(len(keys), math.Max(lfpr, 1e-4))
+	if err != nil {
+		panic(err) // fpr floored into (0,1)
+	}
 	for _, k := range keys {
 		classic.Add(k)
 	}
@@ -138,7 +147,17 @@ func runE15(scale Scale) *Table {
 	est := learned.TrainSelectivityEstimator(rng, tab, learned.SelectivityConfig{
 		Hidden: []int{32, 32}, Queries: queries, Epochs: epochs, LR: 0.005, BatchSize: 64,
 	})
-	hist := db.NewIndependentEstimator(tab, 32)
+	hist, err := db.NewIndependentEstimator(tab, 32)
+	if err != nil {
+		panic(err) // non-empty table, positive bucket count
+	}
+	histEst := func(preds []db.Pred) float64 {
+		sel, err := hist.Estimate(preds)
+		if err != nil {
+			panic(err) // queries are drawn over the table's own columns
+		}
+		return sel
+	}
 
 	t := &Table{ID: "E15", Title: "Selectivity estimation", Claim: "learned beats AVI histograms on correlated data",
 		Columns: []string{"estimator", "median_qerror", "p95_qerror", "bytes"}}
@@ -146,7 +165,7 @@ func runE15(scale Scale) *Table {
 	m, p := learned.QErrorStats(qrng, tab, est.Estimate, 300)
 	t.AddRow("neural", m, p, est.MemoryBytes())
 	qrng = rand.New(rand.NewSource(43))
-	m, p = learned.QErrorStats(qrng, tab, hist.Estimate, 300)
+	m, p = learned.QErrorStats(qrng, tab, histEst, 300)
 	t.AddRow("histogram-AVI", m, p, int64(3*33*8))
 	t.Shape = "neural median and p95 q-error clearly below histograms"
 	return t
@@ -221,7 +240,10 @@ func runE18(scale Scale) *Table {
 		}
 		tab.Append(f, g, v)
 	}
-	gt := explore.NewViewGrid(tab, "f", "g", "v", 6, 4)
+	gt, err := explore.NewViewGrid(tab, "f", "g", "v", 6, 4)
+	if err != nil {
+		panic(err) // columns match the schema built above
+	}
 	target := gt.MaxScore() * 0.9
 
 	t := &Table{ID: "E18", Title: "Guided exploration", Claim: "RL reaches the insight in fewer queries",
@@ -230,7 +252,10 @@ func runE18(scale Scale) *Table {
 	measure := func(run func(seed int64, g *explore.ViewGrid) explore.SessionResult) (float64, float64) {
 		hits, total := 0, 0
 		for s := 0; s < trials; s++ {
-			g := explore.NewViewGrid(tab, "f", "g", "v", 6, 4)
+			g, err := explore.NewViewGrid(tab, "f", "g", "v", 6, 4)
+			if err != nil {
+				panic(err) // columns match the schema built above
+			}
 			r := run(int64(s), g)
 			if r.QueriesToHit > 0 {
 				hits++

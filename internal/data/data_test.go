@@ -1,10 +1,20 @@
 package data
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+// must unwraps (value, error) pairs whose arguments are valid by
+// construction; a failure is a test bug, so it panics.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 func TestGaussianMixtureShapeAndBalance(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -107,7 +117,7 @@ func TestStandardize(t *testing.T) {
 func TestGenerateKeysSortedDistinct(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for _, dist := range []KeyDistribution{Uniform, ZipfGaps, Lognormal} {
-		keys := GenerateKeys(rng, dist, 5000)
+		keys := must(GenerateKeys(rng, dist, 5000))
 		if len(keys) != 5000 {
 			t.Fatalf("%s: got %d keys", dist, len(keys))
 		}
@@ -121,7 +131,7 @@ func TestGenerateKeysSortedDistinct(t *testing.T) {
 
 func TestNegativeKeysAbsent(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	keys := GenerateKeys(rng, Uniform, 1000)
+	keys := must(GenerateKeys(rng, Uniform, 1000))
 	present := make(map[uint64]bool)
 	for _, k := range keys {
 		present[k] = true
@@ -258,5 +268,20 @@ func TestRegressionNonlinearHurtsLinearFit(t *testing.T) {
 	}
 	if diff/float64(len(yLin.Data)) < 0.5 {
 		t.Fatal("nonlinear term had no effect")
+	}
+}
+
+func TestGenerateKeysUnknownDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	_, err := GenerateKeys(rng, KeyDistribution("cauchy"), 10)
+	if err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	var de *DistError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v is not a *DistError", err)
+	}
+	if de.Dist != "cauchy" {
+		t.Fatalf("DistError names %q, want cauchy", de.Dist)
 	}
 }

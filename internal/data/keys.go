@@ -19,9 +19,20 @@ const (
 	Lognormal KeyDistribution = "lognormal"
 )
 
+// DistError is the typed error GenerateKeys returns for a distribution
+// name it does not recognise.
+type DistError struct {
+	Dist KeyDistribution
+}
+
+func (e *DistError) Error() string {
+	return "data: unknown key distribution " + string(e.Dist)
+}
+
 // GenerateKeys returns n distinct uint64 keys drawn from the named
-// distribution, sorted ascending.
-func GenerateKeys(rng *rand.Rand, dist KeyDistribution, n int) []uint64 {
+// distribution, sorted ascending. An unknown distribution yields a typed
+// *DistError.
+func GenerateKeys(rng *rand.Rand, dist KeyDistribution, n int) ([]uint64, error) {
 	seen := make(map[uint64]bool, n)
 	keys := make([]uint64, 0, n)
 	add := func(k uint64) {
@@ -50,10 +61,10 @@ func GenerateKeys(rng *rand.Rand, dist KeyDistribution, n int) []uint64 {
 			add(uint64(v * 1000))
 		}
 	default:
-		panic("data: unknown key distribution " + string(dist))
+		return nil, &DistError{Dist: dist}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	return keys, nil
 }
 
 // NegativeKeys returns n keys guaranteed absent from the sorted key set,

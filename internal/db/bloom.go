@@ -1,6 +1,9 @@
 package db
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Bloom is a classic Bloom filter over uint64 keys with k independent hash
 // probes derived by double hashing.
@@ -13,12 +16,13 @@ type Bloom struct {
 
 // NewBloom sizes a filter for n expected keys at the target false-positive
 // rate using the standard formulas m = -n·lnp/(ln2)² and k = (m/n)·ln2.
-func NewBloom(n int, fpr float64) *Bloom {
+// A typed error rejects a false-positive rate outside (0,1).
+func NewBloom(n int, fpr float64) (*Bloom, error) {
 	if n < 1 {
 		n = 1
 	}
 	if fpr <= 0 || fpr >= 1 {
-		panic("db: Bloom fpr must be in (0,1)")
+		return nil, &ArgError{Fn: "NewBloom", Reason: fmt.Sprintf("fpr %g outside (0,1)", fpr)}
 	}
 	m := uint64(math.Ceil(-float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2)))
 	if m < 64 {
@@ -28,7 +32,7 @@ func NewBloom(n int, fpr float64) *Bloom {
 	if k < 1 {
 		k = 1
 	}
-	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}, nil
 }
 
 // NewBloomBits builds a filter with an explicit bit budget and probe count,

@@ -1,6 +1,9 @@
 package db
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Canopy is a Data-Canopy-style statistics cache (Wasay et al., cited in
 // the tutorial's data-exploration discussion): descriptive statistics over
@@ -32,17 +35,20 @@ type pairStats struct {
 	sumProd float64
 }
 
-// NewCanopy creates a cache over t with the given chunk size (rows).
-func NewCanopy(t *Table, chunkSize int) *Canopy {
+// NewCanopy creates a cache over t with the given chunk size (rows). A
+// typed error rejects a non-positive chunk size. The statistics methods
+// (Mean, Std, Min, Max, Correlation) require existing column names — the
+// table's schema is fixed at construction, so callers resolve names once.
+func NewCanopy(t *Table, chunkSize int) (*Canopy, error) {
 	if chunkSize < 1 {
-		panic("db: canopy chunk size must be positive")
+		return nil, &ArgError{Fn: "NewCanopy", Reason: fmt.Sprintf("chunk size %d < 1", chunkSize)}
 	}
 	return &Canopy{
 		table:     t,
 		chunkSize: chunkSize,
 		cols:      map[string][]chunkStats{},
 		pairs:     map[[2]string][]pairStats{},
-	}
+	}, nil
 }
 
 // RowsScanned reports the total rows touched since creation — the work
@@ -64,7 +70,7 @@ func (c *Canopy) colChunks(col string) []chunkStats {
 
 // buildChunk materialises one chunk's stats for a column.
 func (c *Canopy) buildChunk(col string, chunks []chunkStats, ci int) {
-	data := c.table.Column(col)
+	data := c.table.mustColumn(col)
 	lo := ci * c.chunkSize
 	hi := lo + c.chunkSize
 	if hi > len(data) {
@@ -90,7 +96,7 @@ func (c *Canopy) buildChunk(col string, chunks []chunkStats, ci int) {
 // rangeStats aggregates [lo, hi) (row indices) for a column, combining
 // cached chunks in the interior and scanning the ragged edges directly.
 func (c *Canopy) rangeStats(col string, lo, hi int) chunkStats {
-	data := c.table.Column(col)
+	data := c.table.mustColumn(col)
 	if lo < 0 {
 		lo = 0
 	}
@@ -211,7 +217,7 @@ func (c *Canopy) rangeSumProd(colA, colB string, lo, hi int) float64 {
 		chunks = make([]pairStats, c.numChunks())
 		c.pairs[key] = chunks
 	}
-	da, db := c.table.Column(colA), c.table.Column(colB)
+	da, db := c.table.mustColumn(colA), c.table.mustColumn(colB)
 	if hi > len(da) {
 		hi = len(da)
 	}
@@ -252,9 +258,9 @@ func (c *Canopy) rangeSumProd(colA, colB string, lo, hi int) float64 {
 }
 
 // NaiveMean scans the range directly (the no-cache baseline), charging the
-// same work metric.
+// same work metric. The column must exist.
 func NaiveMean(t *Table, col string, lo, hi int, rowsScanned *int64) float64 {
-	data := t.Column(col)
+	data := t.mustColumn(col)
 	if hi > len(data) {
 		hi = len(data)
 	}

@@ -16,7 +16,7 @@ func canopyTable(rng *rand.Rand, n int) *Table {
 }
 
 func naiveStats(t *Table, col string, lo, hi int) (mean, std, min, max float64) {
-	data := t.Column(col)
+	data := must(t.Column(col))
 	if hi > len(data) {
 		hi = len(data)
 	}
@@ -42,7 +42,7 @@ func naiveStats(t *Table, col string, lo, hi int) (mean, std, min, max float64) 
 func TestCanopyMatchesNaiveStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	tab := canopyTable(rng, 10000)
-	c := NewCanopy(tab, 128)
+	c := must(NewCanopy(tab, 128))
 	for trial := 0; trial < 50; trial++ {
 		lo := rng.Intn(9000)
 		hi := lo + 1 + rng.Intn(1000)
@@ -65,7 +65,7 @@ func TestCanopyMatchesNaiveStats(t *testing.T) {
 func TestCanopyCorrelation(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	tab := canopyTable(rng, 20000)
-	c := NewCanopy(tab, 256)
+	c := must(NewCanopy(tab, 256))
 	corr := c.Correlation("x", "y", 0, 20000)
 	// y = 0.8x + 0.2ε: ρ = 0.8/sqrt(0.64+0.04) ≈ 0.970.
 	if math.Abs(corr-0.970) > 0.02 {
@@ -82,7 +82,7 @@ func TestCanopyRangeEdges(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tab.Append(float64(i))
 	}
-	c := NewCanopy(tab, 4)
+	c := must(NewCanopy(tab, 4))
 	// Range inside a single chunk.
 	if got := c.Mean("x", 1, 3); got != 1.5 {
 		t.Fatalf("single-chunk mean %g", got)
@@ -105,7 +105,7 @@ func TestCanopyReusesWorkAcrossSession(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	n := 50000
 	tab := canopyTable(rng, n)
-	c := NewCanopy(tab, 512)
+	c := must(NewCanopy(tab, 512))
 	var naiveScanned int64
 
 	// An exploratory session: 60 overlapping range queries.

@@ -35,22 +35,37 @@ func (t *Table) Columns() []string { return t.names }
 // Rows returns the row count.
 func (t *Table) Rows() int { return t.rows }
 
-// Append adds one row; the value count must match the column count.
-func (t *Table) Append(values ...float64) {
+// Append adds one row; a typed error rejects rows whose value count does
+// not match the column count (and the row is not added).
+func (t *Table) Append(values ...float64) error {
 	if len(values) != len(t.columns) {
-		panic(fmt.Sprintf("db: row width %d != %d columns", len(values), len(t.columns)))
+		return &ArgError{Fn: "Append", Reason: fmt.Sprintf("row width %d != %d columns", len(values), len(t.columns))}
 	}
 	for i, v := range values {
 		t.columns[i] = append(t.columns[i], v)
 	}
 	t.rows++
+	return nil
 }
 
-// Column returns the raw column slice (shared, do not mutate).
-func (t *Table) Column(name string) []float64 {
+// Column returns the raw column slice (shared, do not mutate), or a typed
+// error for an unknown column name.
+func (t *Table) Column(name string) ([]float64, error) {
 	i, ok := t.colIdx[name]
 	if !ok {
-		panic("db: unknown column " + name)
+		return nil, &ArgError{Fn: "Column", Reason: "unknown column " + name}
+	}
+	return t.columns[i], nil
+}
+
+// mustColumn is the internal accessor for call sites whose column names
+// were already validated at the public entry point (or come from Columns()
+// itself). Reaching the panic means a validation bug inside this package,
+// not bad caller input.
+func (t *Table) mustColumn(name string) []float64 {
+	i, ok := t.colIdx[name]
+	if !ok {
+		panic("db: internal: column " + name + " not validated by entry point")
 	}
 	return t.columns[i]
 }
@@ -61,10 +76,12 @@ type Pred struct {
 	Lo, Hi float64
 }
 
-// Matches reports whether row r satisfies every predicate.
+// Matches reports whether row r satisfies every predicate. Predicates must
+// name existing columns — the query entry points validate them before the
+// per-row loops run.
 func (t *Table) Matches(r int, preds []Pred) bool {
 	for _, p := range preds {
-		v := t.Column(p.Col)[r]
+		v := t.mustColumn(p.Col)[r]
 		if v < p.Lo || v > p.Hi {
 			return false
 		}
@@ -105,12 +122,23 @@ const (
 	AggStd
 )
 
-// Aggregate computes the aggregate of col over rows matching preds.
-func (t *Table) Aggregate(agg Agg, col string, preds []Pred) float64 {
+// Aggregate computes the aggregate of col over rows matching preds. The
+// aggregate identifier, target column (except for AggCount), and every
+// predicate column are validated up front with typed errors.
+func (t *Table) Aggregate(agg Agg, col string, preds []Pred) (float64, error) {
+	if err := checkAgg("Aggregate", agg); err != nil {
+		return 0, err
+	}
+	if err := t.checkPreds("Aggregate", preds); err != nil {
+		return 0, err
+	}
 	var vals []float64
 	var c []float64
 	if agg != AggCount {
-		c = t.Column(col)
+		var err error
+		if c, err = t.Column(col); err != nil {
+			return 0, &ArgError{Fn: "Aggregate", Reason: "unknown column " + col}
+		}
 	}
 	for r := 0; r < t.rows; r++ {
 		if t.Matches(r, preds) {
@@ -122,15 +150,15 @@ func (t *Table) Aggregate(agg Agg, col string, preds []Pred) float64 {
 		}
 	}
 	if len(vals) == 0 {
-		return 0
+		return 0, nil
 	}
 	switch agg {
 	case AggCount:
-		return float64(len(vals))
+		return float64(len(vals)), nil
 	case AggSum:
-		return sum(vals)
+		return sum(vals), nil
 	case AggMean:
-		return sum(vals) / float64(len(vals))
+		return sum(vals) / float64(len(vals)), nil
 	case AggMin:
 		m := vals[0]
 		for _, v := range vals[1:] {
@@ -138,7 +166,7 @@ func (t *Table) Aggregate(agg Agg, col string, preds []Pred) float64 {
 				m = v
 			}
 		}
-		return m
+		return m, nil
 	case AggMax:
 		m := vals[0]
 		for _, v := range vals[1:] {
@@ -146,16 +174,15 @@ func (t *Table) Aggregate(agg Agg, col string, preds []Pred) float64 {
 				m = v
 			}
 		}
-		return m
-	case AggStd:
+		return m, nil
+	default: // AggStd; checkAgg rejected everything else
 		mu := sum(vals) / float64(len(vals))
 		var s float64
 		for _, v := range vals {
 			s += (v - mu) * (v - mu)
 		}
-		return math.Sqrt(s / float64(len(vals)))
+		return math.Sqrt(s / float64(len(vals))), nil
 	}
-	panic("db: unknown aggregate")
 }
 
 func sum(vals []float64) float64 {
@@ -169,9 +196,15 @@ func sum(vals []float64) float64 {
 // GroupMeans returns, for each distinct rounded value of groupCol, the mean
 // of valCol over matching rows — the "view" primitive the exploration agent
 // inspects. Group keys are rounded to buckets of the given width.
-func (t *Table) GroupMeans(groupCol, valCol string, bucket float64) map[float64]float64 {
-	g := t.Column(groupCol)
-	v := t.Column(valCol)
+func (t *Table) GroupMeans(groupCol, valCol string, bucket float64) (map[float64]float64, error) {
+	g, err := t.Column(groupCol)
+	if err != nil {
+		return nil, &ArgError{Fn: "GroupMeans", Reason: "unknown column " + groupCol}
+	}
+	v, err := t.Column(valCol)
+	if err != nil {
+		return nil, &ArgError{Fn: "GroupMeans", Reason: "unknown column " + valCol}
+	}
 	sums := map[float64]float64{}
 	counts := map[float64]int{}
 	for r := 0; r < t.rows; r++ {
@@ -183,22 +216,26 @@ func (t *Table) GroupMeans(groupCol, valCol string, bucket float64) map[float64]
 	for k, s := range sums {
 		out[k] = s / float64(counts[k])
 	}
-	return out
+	return out, nil
 }
 
 // ColumnQuantiles returns the q evenly-spaced quantiles of a column
 // (including min and max), used to build equi-depth histograms and to
 // normalise features.
-func (t *Table) ColumnQuantiles(col string, q int) []float64 {
-	vals := append([]float64(nil), t.Column(col)...)
+func (t *Table) ColumnQuantiles(col string, q int) ([]float64, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, &ArgError{Fn: "ColumnQuantiles", Reason: "unknown column " + col}
+	}
+	vals := append([]float64(nil), c...)
 	sort.Float64s(vals)
 	if len(vals) == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]float64, q+1)
 	for i := 0; i <= q; i++ {
 		idx := i * (len(vals) - 1) / q
 		out[i] = vals[idx]
 	}
-	return out
+	return out, nil
 }

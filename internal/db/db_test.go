@@ -126,7 +126,7 @@ func TestBTreeDepthLogarithmic(t *testing.T) {
 
 func TestBloomNoFalseNegatives(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	b := NewBloom(10000, 0.01)
+	b := must(NewBloom(10000, 0.01))
 	keys := make([]uint64, 10000)
 	for i := range keys {
 		keys[i] = rng.Uint64()
@@ -142,7 +142,7 @@ func TestBloomNoFalseNegatives(t *testing.T) {
 func TestBloomFPRNearTarget(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, target := range []float64{0.1, 0.01} {
-		b := NewBloom(5000, target)
+		b := must(NewBloom(5000, target))
 		present := map[uint64]bool{}
 		for i := 0; i < 5000; i++ {
 			k := rng.Uint64() >> 1
@@ -210,13 +210,13 @@ func TestTableScanAndAggregates(t *testing.T) {
 	if got := tab.Count(preds); got != 2 {
 		t.Fatalf("count %d", got)
 	}
-	if got := tab.Aggregate(AggMean, "salary", preds); got != 250 {
+	if got := must(tab.Aggregate(AggMean, "salary", preds)); got != 250 {
 		t.Fatalf("mean %g", got)
 	}
-	if got := tab.Aggregate(AggSum, "salary", nil); got != 600 {
+	if got := must(tab.Aggregate(AggSum, "salary", nil)); got != 600 {
 		t.Fatalf("sum %g", got)
 	}
-	if got := tab.Aggregate(AggMax, "salary", nil); got != 300 {
+	if got := must(tab.Aggregate(AggMax, "salary", nil)); got != 300 {
 		t.Fatalf("max %g", got)
 	}
 	if got := tab.Selectivity(preds); math.Abs(got-2.0/3) > 1e-12 {
@@ -229,7 +229,7 @@ func TestGroupMeans(t *testing.T) {
 	tab.Append(0.1, 10)
 	tab.Append(0.2, 20)
 	tab.Append(1.4, 40)
-	m := tab.GroupMeans("g", "v", 1.0)
+	m := must(tab.GroupMeans("g", "v", 1.0))
 	if m[0] != 15 || m[1] != 40 {
 		t.Fatalf("group means %v", m)
 	}
@@ -241,7 +241,7 @@ func TestHistogramEstimatesUniformData(t *testing.T) {
 	for i := range vals {
 		vals[i] = rng.Float64()
 	}
-	for _, h := range []*Histogram{NewEquiWidth(vals, 32), NewEquiDepth(vals, 32)} {
+	for _, h := range []*Histogram{must(NewEquiWidth(vals, 32)), must(NewEquiDepth(vals, 32))} {
 		got := h.EstimateRange(0.2, 0.5)
 		if math.Abs(got-0.3) > 0.02 {
 			t.Fatalf("estimate %g, want ~0.3", got)
@@ -275,8 +275,8 @@ func TestEquiDepthBeatsEquiWidthOnSkew(t *testing.T) {
 		}
 		return float64(c) / float64(len(vals))
 	}
-	ew := NewEquiWidth(vals, 16)
-	ed := NewEquiDepth(vals, 16)
+	ew := must(NewEquiWidth(vals, 16))
+	ed := must(NewEquiDepth(vals, 16))
 	lo, hi := 0.0, 0.004
 	tw := truth(lo, hi)
 	qw := QError(ew.EstimateRange(lo, hi), tw)
@@ -289,17 +289,17 @@ func TestEquiDepthBeatsEquiWidthOnSkew(t *testing.T) {
 func TestIndependentEstimatorErrsOnCorrelation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	tab := makeTable(rng, 20000) // b ≈ a: strong correlation
-	est := NewIndependentEstimator(tab, 32)
+	est := must(NewIndependentEstimator(tab, 32))
 	preds := []Pred{{Col: "a", Lo: 0.4, Hi: 0.6}, {Col: "b", Lo: 0.4, Hi: 0.6}}
 	truth := tab.Selectivity(preds)
-	guess := est.Estimate(preds)
+	guess := must(est.Estimate(preds))
 	// AVI predicts ~0.04 but the truth is ~0.17: at least 2x off.
 	if QError(guess, truth) < 2 {
 		t.Fatalf("expected the independence assumption to fail: est %g vs truth %g", guess, truth)
 	}
 	// On the independent column, it should be accurate.
 	solo := []Pred{{Col: "c", Lo: 0.2, Hi: 0.5}}
-	if QError(est.Estimate(solo), tab.Selectivity(solo)) > 1.2 {
+	if QError(must(est.Estimate(solo)), tab.Selectivity(solo)) > 1.2 {
 		t.Fatal("single-attribute estimate should be accurate")
 	}
 }

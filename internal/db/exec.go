@@ -75,7 +75,9 @@ func (f *FilterOp) Next() *Batch {
 		}
 		sel := b.rows
 		for _, p := range f.preds {
-			col := b.table.Column(p.Col)
+			// Predicate columns are validated by the query entry points
+			// before the pipeline runs (see Matches).
+			col := b.table.mustColumn(p.Col)
 			out := sel[:0]
 			for _, r := range sel {
 				v := col[r]
@@ -107,8 +109,12 @@ func NewAggregate(input Operator, agg Agg, col string) *AggOp {
 	return &AggOp{input: input, agg: agg, col: col}
 }
 
-// Result runs the pipeline to completion.
-func (a *AggOp) Result() float64 {
+// Result runs the pipeline to completion. The aggregate identifier and the
+// target column are validated with typed errors.
+func (a *AggOp) Result() (float64, error) {
+	if err := checkAgg("Result", a.agg); err != nil {
+		return 0, err
+	}
 	var count float64
 	var sum, sumsq float64
 	min, max := 0.0, 0.0
@@ -118,7 +124,10 @@ func (a *AggOp) Result() float64 {
 		if b == nil {
 			break
 		}
-		col := b.table.Column(a.col)
+		col, err := b.table.Column(a.col)
+		if err != nil {
+			return 0, &ArgError{Fn: "Result", Reason: "unknown column " + a.col}
+		}
 		for _, r := range b.rows {
 			v := col[r]
 			count++
@@ -135,42 +144,50 @@ func (a *AggOp) Result() float64 {
 	}
 	switch a.agg {
 	case AggCount:
-		return count
+		return count, nil
 	case AggSum:
-		return sum
+		return sum, nil
 	case AggMean:
 		if count == 0 {
-			return 0
+			return 0, nil
 		}
-		return sum / count
+		return sum / count, nil
 	case AggMin:
-		return min
+		return min, nil
 	case AggMax:
-		return max
-	case AggStd:
+		return max, nil
+	default: // AggStd; checkAgg rejected everything else
 		if count == 0 {
-			return 0
+			return 0, nil
 		}
 		mean := sum / count
 		v := sumsq/count - mean*mean
 		if v < 0 {
 			v = 0
 		}
-		return math.Sqrt(v)
+		return math.Sqrt(v), nil
 	}
-	panic("db: unknown aggregate")
 }
 
 // VectorizedQuery runs SELECT agg(col) FROM t WHERE preds through the
-// batch engine.
-func VectorizedQuery(t *Table, agg Agg, col string, preds []Pred) float64 {
+// batch engine. The aggregate, target column, and predicate columns are
+// validated up front with typed errors.
+func VectorizedQuery(t *Table, agg Agg, col string, preds []Pred) (float64, error) {
+	if err := checkQuery(t, "VectorizedQuery", agg, col, preds); err != nil {
+		return 0, err
+	}
 	return NewAggregate(NewFilter(NewScan(t), preds), agg, col).Result()
 }
 
 // TupleAtATimeQuery is the Volcano-style baseline: every row flows through
 // the full predicate stack individually with per-tuple column lookups —
-// the per-tuple interpretation overhead vectorization removes.
-func TupleAtATimeQuery(t *Table, agg Agg, col string, preds []Pred) float64 {
+// the per-tuple interpretation overhead vectorization removes. Arguments
+// are validated once up front with typed errors; the per-row loop keeps
+// the per-tuple column resolution that the vectorized engine hoists out.
+func TupleAtATimeQuery(t *Table, agg Agg, col string, preds []Pred) (float64, error) {
+	if err := checkQuery(t, "TupleAtATimeQuery", agg, col, preds); err != nil {
+		return 0, err
+	}
 	var count, sum, sumsq float64
 	min, max := 0.0, 0.0
 	first := true
@@ -179,7 +196,7 @@ func TupleAtATimeQuery(t *Table, agg Agg, col string, preds []Pred) float64 {
 		for _, p := range preds {
 			// Per-tuple, per-predicate column resolution: the dispatch
 			// cost the vectorized engine hoists out of the loop.
-			v := t.Column(p.Col)[r]
+			v := t.mustColumn(p.Col)[r]
 			if v < p.Lo || v > p.Hi {
 				ok = false
 				break
@@ -188,7 +205,7 @@ func TupleAtATimeQuery(t *Table, agg Agg, col string, preds []Pred) float64 {
 		if !ok {
 			continue
 		}
-		v := t.Column(col)[r]
+		v := t.mustColumn(col)[r]
 		count++
 		sum += v
 		sumsq += v * v
@@ -202,28 +219,27 @@ func TupleAtATimeQuery(t *Table, agg Agg, col string, preds []Pred) float64 {
 	}
 	switch agg {
 	case AggCount:
-		return count
+		return count, nil
 	case AggSum:
-		return sum
+		return sum, nil
 	case AggMean:
 		if count == 0 {
-			return 0
+			return 0, nil
 		}
-		return sum / count
+		return sum / count, nil
 	case AggMin:
-		return min
+		return min, nil
 	case AggMax:
-		return max
-	case AggStd:
+		return max, nil
+	default: // AggStd; checkQuery rejected everything else
 		if count == 0 {
-			return 0
+			return 0, nil
 		}
 		mean := sum / count
 		v := sumsq/count - mean*mean
 		if v < 0 {
 			v = 0
 		}
-		return math.Sqrt(v)
+		return math.Sqrt(v), nil
 	}
-	panic("db: unknown aggregate")
 }

@@ -20,8 +20,8 @@ func TestVectorizedMatchesTupleAtATime(t *testing.T) {
 	tab := execTable(rng, 20000)
 	preds := []Pred{{Col: "a", Lo: 0.2, Hi: 0.7}, {Col: "b", Lo: 0.1, Hi: 0.9}}
 	for _, agg := range []Agg{AggCount, AggSum, AggMean, AggMin, AggMax, AggStd} {
-		v := VectorizedQuery(tab, agg, "v", preds)
-		u := TupleAtATimeQuery(tab, agg, "v", preds)
+		v := must(VectorizedQuery(tab, agg, "v", preds))
+		u := must(TupleAtATimeQuery(tab, agg, "v", preds))
 		if math.Abs(v-u) > 1e-9*math.Max(1, math.Abs(u)) {
 			t.Fatalf("agg %d: vectorized %g != tuple %g", agg, v, u)
 		}
@@ -33,8 +33,8 @@ func TestVectorizedMatchesTableAggregate(t *testing.T) {
 	tab := execTable(rng, 5000)
 	preds := []Pred{{Col: "a", Lo: 0.3, Hi: 0.6}}
 	for _, agg := range []Agg{AggCount, AggSum, AggMean, AggMin, AggMax} {
-		v := VectorizedQuery(tab, agg, "v", preds)
-		ref := tab.Aggregate(agg, "v", preds)
+		v := must(VectorizedQuery(tab, agg, "v", preds))
+		ref := must(tab.Aggregate(agg, "v", preds))
 		if math.Abs(v-ref) > 1e-9*math.Max(1, math.Abs(ref)) {
 			t.Fatalf("agg %d: vectorized %g != reference %g", agg, v, ref)
 		}
@@ -45,10 +45,10 @@ func TestVectorizedEmptyResult(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	tab := execTable(rng, 1000)
 	preds := []Pred{{Col: "a", Lo: 5, Hi: 6}} // matches nothing
-	if got := VectorizedQuery(tab, AggCount, "v", preds); got != 0 {
+	if got := must(VectorizedQuery(tab, AggCount, "v", preds)); got != 0 {
 		t.Fatalf("count %g, want 0", got)
 	}
-	if got := VectorizedQuery(tab, AggMean, "v", preds); got != 0 {
+	if got := must(VectorizedQuery(tab, AggMean, "v", preds)); got != 0 {
 		t.Fatalf("mean of empty %g", got)
 	}
 }
@@ -87,7 +87,7 @@ func TestFilterSkipsEmptyBatches(t *testing.T) {
 		}
 		tab.Append(a, float64(i))
 	}
-	got := VectorizedQuery(tab, AggCount, "v", []Pred{{Col: "a", Lo: 0.5, Hi: 1.5}})
+	got := must(VectorizedQuery(tab, AggCount, "v", []Pred{{Col: "a", Lo: 0.5, Hi: 1.5}}))
 	if got != 7 {
 		t.Fatalf("count %g, want 7", got)
 	}

@@ -12,10 +12,10 @@ type Histogram struct {
 }
 
 // NewEquiWidth builds a histogram with equally wide buckets over the data's
-// range.
-func NewEquiWidth(values []float64, buckets int) *Histogram {
-	if len(values) == 0 || buckets < 1 {
-		panic("db: empty histogram input")
+// range. A typed error rejects empty input or a non-positive bucket count.
+func NewEquiWidth(values []float64, buckets int) (*Histogram, error) {
+	if err := checkHistInput("NewEquiWidth", values, buckets); err != nil {
+		return nil, err
 	}
 	lo, hi := values[0], values[0]
 	for _, v := range values[1:] {
@@ -40,14 +40,15 @@ func NewEquiWidth(values []float64, buckets int) *Histogram {
 		}
 		h.Counts[b]++
 	}
-	return h
+	return h, nil
 }
 
 // NewEquiDepth builds a histogram whose buckets hold (approximately) equal
-// numbers of values, which adapts bucket width to skew.
-func NewEquiDepth(values []float64, buckets int) *Histogram {
-	if len(values) == 0 || buckets < 1 {
-		panic("db: empty histogram input")
+// numbers of values, which adapts bucket width to skew. A typed error
+// rejects empty input or a non-positive bucket count.
+func NewEquiDepth(values []float64, buckets int) (*Histogram, error) {
+	if err := checkHistInput("NewEquiDepth", values, buckets); err != nil {
+		return nil, err
 	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
@@ -72,7 +73,7 @@ func NewEquiDepth(values []float64, buckets int) *Histogram {
 	for _, v := range values {
 		h.Counts[h.bucketOf(v)]++
 	}
-	return h
+	return h, nil
 }
 
 func (h *Histogram) bucketOf(v float64) int {
@@ -131,26 +132,32 @@ type IndependentEstimator struct {
 	Hists map[string]*Histogram
 }
 
-// NewIndependentEstimator builds per-column equi-depth histograms.
-func NewIndependentEstimator(t *Table, buckets int) *IndependentEstimator {
+// NewIndependentEstimator builds per-column equi-depth histograms. A typed
+// error rejects an empty table or non-positive bucket count.
+func NewIndependentEstimator(t *Table, buckets int) (*IndependentEstimator, error) {
 	e := &IndependentEstimator{Hists: map[string]*Histogram{}}
 	for _, c := range t.Columns() {
-		e.Hists[c] = NewEquiDepth(t.Column(c), buckets)
+		h, err := NewEquiDepth(t.mustColumn(c), buckets)
+		if err != nil {
+			return nil, &ArgError{Fn: "NewIndependentEstimator", Reason: "column " + c + ": " + err.(*ArgError).Reason}
+		}
+		e.Hists[c] = h
 	}
-	return e
+	return e, nil
 }
 
-// Estimate returns the estimated selectivity of the conjunction.
-func (e *IndependentEstimator) Estimate(preds []Pred) float64 {
+// Estimate returns the estimated selectivity of the conjunction, or a typed
+// error when a predicate names a column with no histogram.
+func (e *IndependentEstimator) Estimate(preds []Pred) (float64, error) {
 	sel := 1.0
 	for _, p := range preds {
 		h, ok := e.Hists[p.Col]
 		if !ok {
-			panic("db: no histogram for column " + p.Col)
+			return 0, &ArgError{Fn: "Estimate", Reason: "no histogram for column " + p.Col}
 		}
 		sel *= h.EstimateRange(p.Lo, p.Hi)
 	}
-	return sel
+	return sel, nil
 }
 
 // QError is the standard cardinality-estimation error metric:

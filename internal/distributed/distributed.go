@@ -31,6 +31,7 @@ import (
 	"dlsys/internal/nn"
 	"dlsys/internal/obs"
 	"dlsys/internal/robust"
+	"dlsys/internal/sim"
 	"dlsys/internal/tensor"
 )
 
@@ -111,6 +112,13 @@ type Config struct {
 	// receiving updates) and readmitted after a probation window, with
 	// every transition recorded in the replay-fingerprinted Stats ledger.
 	Reputation *robust.ReputationConfig
+
+	// Kernel, when non-nil, is the shared simulation kernel the run takes
+	// its clock from, letting training compose with other kernel-driven
+	// components (the serving fleet, scheduled fault windows) on one
+	// timeline. Nil creates a private kernel and reproduces the historical
+	// standalone behaviour bit-for-bit.
+	Kernel *sim.Kernel
 }
 
 // Stats reports what a run cost and how it progressed.
@@ -154,158 +162,19 @@ const wireBytesPerFloat = 4 // gradients/parameters travel as float32
 
 // Train runs the configured algorithm over x/y and returns the final
 // (consensus) model plus stats. Training is deterministic for a given seed
-// and fault seed, regardless of worker execution order.
+// and fault seed, regardless of worker execution order. It is the
+// standalone wrapper over the kernel-driven Job API: build the job, start
+// it, drain the kernel, collect the result. With a shared Config.Kernel,
+// draining runs every component's pending events, so composed experiments
+// use NewJob/Start/Result directly instead.
 func Train(seed int64, x, y *tensor.Tensor, cfg Config) (*nn.Network, Stats, error) {
-	var stats Stats
-	if err := cfg.Validate(); err != nil {
-		return nil, stats, err
+	j, err := NewJob(seed, x, y, cfg)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	if cfg.AveragePeriod < 1 {
-		cfg.AveragePeriod = 1
-	}
-	if cfg.TopK <= 0 || cfg.TopK > 1 {
-		cfg.TopK = 1
-	}
-	if cfg.MaxRetries < 1 {
-		cfg.MaxRetries = 4
-	}
-	if cfg.RetryBackoffS <= 0 {
-		cfg.RetryBackoffS = 1e-3
-	}
-	if cfg.SnapshotPeriod < 1 {
-		cfg.SnapshotPeriod = 5
-	}
-	var inj *fault.Injector
-	if cfg.Fault.Enabled() {
-		inj = fault.NewInjector(cfg.Fault)
-	}
-	prof := cfg.Device
-	if prof.Name == "" {
-		prof = device.GPUSmall
-	}
-	// A nil aggregator is the historical plain mean with no aggregation
-	// cost charged; an explicit one (even Mean) is accounted on the clock.
-	agg := cfg.Aggregator
-	chargeAgg := agg != nil
-	if agg == nil {
-		agg = robust.Mean{}
-	}
-	var rep *robust.Reputation
-	if cfg.Reputation != nil {
-		rep = robust.NewReputation(*cfg.Reputation)
-	}
-	ins := newDistObs(cfg.Obs, cfg.Workers)
-	net := &transport{inj: inj, prof: prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS, obs: ins}
-	trainSpan := ins.span("distributed.train", 0)
-
-	// All workers start from the same initialisation but own independent
-	// RNG streams derived from (seed, workerID), so fault-induced
-	// reordering of worker execution cannot change any worker's batches.
-	global := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
-	workers := make([]*worker, cfg.Workers)
-	shards := shardIndices(x.Dim(0), cfg.Workers)
-	for w := range workers {
-		wnet := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
-		wnet.SetParamVector(global.ParamVector())
-		wrng := rand.New(rand.NewSource(fault.WorkerSeed(seed, w)))
-		workers[w] = &worker{
-			id:       w,
-			net:      wnet,
-			trainer:  nn.NewTrainer(wnet, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(cfg.LR), wrng),
-			rng:      wrng,
-			shard:    shards[w],
-			residual: make([]float64, wnet.NumParams()),
-		}
-	}
-
-	store := checkpoint.NewStore(2)
-	if inj != nil {
-		takeSnapshot(store, inj, 0, global, &stats, ins)
-	}
-	modelSize := global.NumParams()
-	flopsPerExample := 3 * global.FLOPs(1) // forward + ~2x backward
-	stepsPerEpoch := (len(shards[0]) + cfg.BatchSize - 1) / cfg.BatchSize
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for _, wk := range workers {
-			wk.rng.Shuffle(len(wk.shard), func(i, j int) {
-				wk.shard[i], wk.shard[j] = wk.shard[j], wk.shard[i]
-			})
-		}
-		var epochLoss float64
-		lossSteps := 0
-		for step := 0; step < stepsPerEpoch; step++ {
-			round := epoch*stepsPerEpoch + step
-			active := liveWorkers(workers, inj, store, round, &stats, ins)
-			if len(active) == 0 {
-				// Whole cluster down: the round idles away a restart delay.
-				stats.SimSeconds += net.backoffS
-				stats.Steps++
-				ins.steps.Inc()
-				continue
-			}
-			if cfg.AveragePeriod == 1 {
-				roundSpan := trainSpan.Child("sync-round", stats.SimSeconds)
-				loss, ok := syncRound(active, x, y, cfg, net, step, round, modelSize, flopsPerExample, agg, chargeAgg, rep, &stats, roundSpan)
-				roundSpan.End(stats.SimSeconds)
-				if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
-					epochLoss += loss
-					lossSteps++
-				}
-				if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
-					takeSnapshot(store, inj, round+1, active[0].net, &stats, ins)
-				}
-			} else {
-				localRound(active, x, y, cfg, net, store, step, round, flopsPerExample, &stats)
-				if l := activeLoss(active[0]); active[0].id == 0 && !math.IsNaN(l) && !math.IsInf(l, 0) {
-					epochLoss += l
-					lossSteps++
-				}
-				globalStep := round + 1
-				if globalStep%cfg.AveragePeriod == 0 {
-					roundSpan := trainSpan.Child("avg-round", stats.SimSeconds)
-					averageRound(active, cfg, net, round, modelSize, agg, chargeAgg, rep, &stats)
-					roundSpan.End(stats.SimSeconds)
-					if inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
-						takeSnapshot(store, inj, round+1, active[0].net, &stats, ins)
-					}
-				}
-			}
-			stats.Steps++
-			ins.steps.Inc()
-		}
-		if lossSteps > 0 {
-			stats.EpochLoss = append(stats.EpochLoss, epochLoss/float64(lossSteps))
-		} else {
-			stats.EpochLoss = append(stats.EpochLoss, math.NaN())
-		}
-	}
-	// Final consensus over the workers that are up at the end; workers
-	// still down (crashed near the finish) hold stale parameters and are
-	// left out, exactly as a parameter server would ignore them.
-	totalRounds := cfg.Epochs * stepsPerEpoch
-	var final []*worker
-	for _, wk := range workers {
-		if wk.downTo <= totalRounds {
-			final = append(final, wk)
-		}
-	}
-	if len(final) == 0 {
-		final = workers
-	}
-	averageParams(final)
-	global.SetParamVector(final[0].net.ParamVector())
-	if rep != nil {
-		led := rep.Ledger()
-		stats.Quarantine = led
-		stats.Quarantines = led.Quarantines()
-		stats.Readmissions = led.Readmissions()
-		ins.quarantines.Add(int64(stats.Quarantines))
-		ins.readmissions.Add(int64(stats.Readmissions))
-	}
-	trainSpan.End(stats.SimSeconds)
-	ins.simSeconds.Set(stats.SimSeconds)
-	ins.aggSeconds.Set(stats.AggSeconds)
-	return global, stats, nil
+	j.Start()
+	j.k.Run()
+	return j.Result()
 }
 
 type worker struct {
@@ -432,8 +301,8 @@ func computeGrads(active []*worker, x, y *tensor.Tensor, cfg Config, prof device
 // syncRound executes one synchronous gradient-exchange round with fault
 // handling. Returns worker-ordered first participant's loss and whether the
 // round produced an update.
-func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, step, round, modelSize int, flopsPerExample int64, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats, span *obs.Span) (float64, bool) {
-	roundStart := stats.SimSeconds
+func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, clk *jobClock, step, round, modelSize int, flopsPerExample int64, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats, span *obs.Span) (float64, bool) {
+	roundStart := clk.now()
 	rep.BeginRound(round)
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
 	net.obs.observeSteps(results)
@@ -556,7 +425,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		grads = append(grads, r.grad)
 		ids = append(ids, r.wk.id)
 	}
-	stats.SimSeconds += computeS + uplinkS
+	clk.advance(computeS + uplinkS)
 	computeSpan := span.Child("compute", roundStart)
 	computeSpan.End(roundStart + computeS)
 	if len(grads) == 0 {
@@ -569,7 +438,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		aggS := net.prof.ComputeTime(agg.FLOPs(len(grads), modelSize), 0.5)
 		aggSpan := span.Child("aggregate", roundStart+computeS+uplinkS)
 		aggSpan.End(roundStart + computeS + uplinkS + aggS)
-		stats.SimSeconds += aggS
+		clk.advance(aggS)
 		stats.AggSeconds += aggS
 	}
 	agg.Aggregate(avgGrad, grads)
@@ -587,7 +456,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 			downlinkS = elapsed
 		}
 	}
-	stats.SimSeconds += downlinkS
+	clk.advance(downlinkS)
 	commSpan := span.Child("comm", roundStart+computeS)
 	commSpan.End(roundStart + computeS + uplinkS + downlinkS)
 	for _, wk := range active {
@@ -605,7 +474,7 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 // guard, a worker whose parameters went non-finite (it already applied a
 // poisoned update locally) is rolled back to the newest verifiable global
 // snapshot instead of shipping NaNs into the next average.
-func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, store *checkpoint.Store, step, round int, flopsPerExample int64, stats *Stats) {
+func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, clk *jobClock, store *checkpoint.Store, step, round int, flopsPerExample int64, stats *Stats) {
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, true)
 	net.obs.observeSteps(results)
 	var computeS float64
@@ -636,7 +505,7 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 			}
 		}
 	}
-	stats.SimSeconds += computeS
+	clk.advance(computeS)
 }
 
 // averageRound is Local SGD's model-averaging exchange with fault
@@ -646,7 +515,7 @@ func localRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transpor
 // quarantined workers are excluded from contributing but receive it too,
 // so a readmitted worker rejoins in sync (mirroring the crash-rejoin
 // path). Byzantine workers corrupt their uploaded parameter vector.
-func averageRound(active []*worker, cfg Config, net *transport, round, modelSize int, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats) {
+func averageRound(active []*worker, cfg Config, net *transport, clk *jobClock, round, modelSize int, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats) {
 	rep.BeginRound(round)
 	modelBytes := int64(modelSize) * wireBytesPerFloat
 	avg := make([]float64, modelSize)
@@ -676,13 +545,13 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 		vecs = append(vecs, v)
 		ids = append(ids, wk.id)
 	}
-	stats.SimSeconds += uplinkS
+	clk.advance(uplinkS)
 	if len(vecs) == 0 {
 		return
 	}
 	if chargeAgg {
 		aggS := net.prof.ComputeTime(agg.FLOPs(len(vecs), modelSize), 0.5)
-		stats.SimSeconds += aggS
+		clk.advance(aggS)
 		stats.AggSeconds += aggS
 	}
 	agg.Aggregate(avg, vecs)
@@ -697,7 +566,7 @@ func averageRound(active []*worker, cfg Config, net *transport, round, modelSize
 		}
 		wk.net.SetParamVector(avg)
 	}
-	stats.SimSeconds += downlinkS
+	clk.advance(downlinkS)
 	stats.AveragingRound++
 	net.obs.rounds.Inc()
 }

@@ -1,0 +1,289 @@
+package distributed
+
+import (
+	"math"
+	"math/rand"
+
+	"dlsys/internal/checkpoint"
+	"dlsys/internal/device"
+	"dlsys/internal/fault"
+	"dlsys/internal/nn"
+	"dlsys/internal/obs"
+	"dlsys/internal/robust"
+	"dlsys/internal/sim"
+	"dlsys/internal/tensor"
+)
+
+// jobClock adapts the shared simulation kernel to the job-relative
+// simulated-seconds accounting Stats reports: now() is seconds since the
+// job started, advance() charges simulated work to the shared clock. With
+// a private kernel (standalone Train) t0 is zero and the accumulation
+// sequence is identical to the historical SimSeconds arithmetic, so
+// results stay bit-for-bit.
+type jobClock struct {
+	k  *sim.Kernel
+	t0 float64
+}
+
+func (c *jobClock) now() float64      { return c.k.Now() - c.t0 }
+func (c *jobClock) advance(d float64) { c.k.Advance(d) }
+
+// Job is one distributed training run driven by a simulation kernel:
+// every (epoch, step) round executes as a kernel event, so a Job composes
+// with other kernel-driven components (the serving fleet, fault
+// schedules) on one shared timeline. Build with NewJob, schedule with
+// Start, drive the kernel, then collect with Result. Train wraps the
+// three for the standalone path.
+type Job struct {
+	cfg  Config
+	x, y *tensor.Tensor
+
+	k     *sim.Kernel
+	actor *sim.Actor
+	clk   *jobClock
+
+	inj       *fault.Injector
+	prof      device.Profile
+	agg       robust.Aggregator
+	chargeAgg bool
+	rep       *robust.Reputation
+	ins       *distObs
+	net       *transport
+	store     *checkpoint.Store
+	trainSpan *obs.Span
+
+	global          *nn.Network
+	workers         []*worker
+	modelSize       int
+	flopsPerExample int64
+	stepsPerEpoch   int
+
+	stats     Stats
+	epoch     int
+	step      int
+	epochLoss float64
+	lossSteps int
+	done      bool
+	finalized bool
+}
+
+// NewJob validates the config and prepares a training job on the
+// configured kernel (Config.Kernel, or a private one when nil — the
+// standalone path). All model and worker state is initialised here; no
+// simulated time passes until the kernel runs the scheduled rounds.
+func NewJob(seed int64, x, y *tensor.Tensor, cfg Config) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AveragePeriod < 1 {
+		cfg.AveragePeriod = 1
+	}
+	if cfg.TopK <= 0 || cfg.TopK > 1 {
+		cfg.TopK = 1
+	}
+	if cfg.MaxRetries < 1 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoffS <= 0 {
+		cfg.RetryBackoffS = 1e-3
+	}
+	if cfg.SnapshotPeriod < 1 {
+		cfg.SnapshotPeriod = 5
+	}
+	k := cfg.Kernel
+	if k == nil {
+		k = sim.New()
+	}
+	j := &Job{
+		cfg:   cfg,
+		x:     x,
+		y:     y,
+		k:     k,
+		actor: k.Actor("distributed"),
+		clk:   &jobClock{k: k, t0: k.Now()},
+	}
+	if cfg.Fault.Enabled() {
+		j.inj = fault.NewInjector(cfg.Fault)
+		// Schedule windows resolve against absolute kernel time.
+		j.inj.SetClock(k)
+	}
+	j.prof = cfg.Device
+	if j.prof.Name == "" {
+		j.prof = device.GPUSmall
+	}
+	// A nil aggregator is the historical plain mean with no aggregation
+	// cost charged; an explicit one (even Mean) is accounted on the clock.
+	j.agg = cfg.Aggregator
+	j.chargeAgg = j.agg != nil
+	if j.agg == nil {
+		j.agg = robust.Mean{}
+	}
+	if cfg.Reputation != nil {
+		j.rep = robust.NewReputation(*cfg.Reputation)
+	}
+	j.ins = newDistObs(cfg.Obs, cfg.Workers)
+	j.net = &transport{inj: j.inj, prof: j.prof, maxRetries: cfg.MaxRetries, backoffS: cfg.RetryBackoffS, obs: j.ins}
+	j.trainSpan = j.ins.span("distributed.train", j.clk.now())
+
+	// All workers start from the same initialisation but own independent
+	// RNG streams derived from (seed, workerID), so fault-induced
+	// reordering of worker execution cannot change any worker's batches.
+	j.global = nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
+	j.workers = make([]*worker, cfg.Workers)
+	shards := shardIndices(x.Dim(0), cfg.Workers)
+	for w := range j.workers {
+		wnet := nn.NewMLP(rand.New(rand.NewSource(seed)), cfg.Arch)
+		wnet.SetParamVector(j.global.ParamVector())
+		wrng := rand.New(rand.NewSource(fault.WorkerSeed(seed, w)))
+		j.workers[w] = &worker{
+			id:       w,
+			net:      wnet,
+			trainer:  nn.NewTrainer(wnet, nn.NewSoftmaxCrossEntropy(), nn.NewSGD(cfg.LR), wrng),
+			rng:      wrng,
+			shard:    shards[w],
+			residual: make([]float64, wnet.NumParams()),
+		}
+	}
+
+	j.store = checkpoint.NewStore(2)
+	if j.inj != nil {
+		takeSnapshot(j.store, j.inj, 0, j.global, &j.stats, j.ins)
+	}
+	j.modelSize = j.global.NumParams()
+	j.flopsPerExample = 3 * j.global.FLOPs(1) // forward + ~2x backward
+	j.stepsPerEpoch = (len(shards[0]) + cfg.BatchSize - 1) / cfg.BatchSize
+	return j, nil
+}
+
+// Kernel returns the simulation kernel driving the job.
+func (j *Job) Kernel() *sim.Kernel { return j.k }
+
+// Start schedules the job's first round on the kernel. The job then
+// self-perpetuates: each round event schedules the next at the simulated
+// instant the previous one finished, until every epoch completes.
+func (j *Job) Start() {
+	if j.stepsPerEpoch == 0 {
+		// Degenerate empty-shard run: the historical loop still recorded
+		// one (NaN) epoch-loss entry per epoch.
+		for e := 0; e < j.cfg.Epochs; e++ {
+			j.stats.EpochLoss = append(j.stats.EpochLoss, math.NaN())
+		}
+		j.done = true
+		return
+	}
+	if j.cfg.Epochs == 0 {
+		j.done = true
+		return
+	}
+	j.actor.At(j.k.Now(), j.runRound)
+}
+
+// runRound executes one (epoch, step) training round as a kernel event and
+// schedules the successor at the simulated time this one finished.
+func (j *Job) runRound(float64) {
+	cfg, stats, net := j.cfg, &j.stats, j.net
+	if j.step == 0 {
+		for _, wk := range j.workers {
+			wk.rng.Shuffle(len(wk.shard), func(i, jj int) {
+				wk.shard[i], wk.shard[jj] = wk.shard[jj], wk.shard[i]
+			})
+		}
+		j.epochLoss, j.lossSteps = 0, 0
+	}
+	step := j.step
+	round := j.epoch*j.stepsPerEpoch + step
+	active := liveWorkers(j.workers, j.inj, j.store, round, stats, j.ins)
+	switch {
+	case len(active) == 0:
+		// Whole cluster down: the round idles away a restart delay.
+		j.clk.advance(net.backoffS)
+	case cfg.AveragePeriod == 1:
+		roundSpan := j.trainSpan.Child("sync-round", j.clk.now())
+		loss, ok := syncRound(active, j.x, j.y, cfg, net, j.clk, step, round, j.modelSize, j.flopsPerExample, j.agg, j.chargeAgg, j.rep, stats, roundSpan)
+		roundSpan.End(j.clk.now())
+		if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
+			j.epochLoss += loss
+			j.lossSteps++
+		}
+		if j.inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+			takeSnapshot(j.store, j.inj, round+1, active[0].net, stats, j.ins)
+		}
+	default:
+		localRound(active, j.x, j.y, cfg, net, j.clk, j.store, step, round, j.flopsPerExample, stats)
+		if l := activeLoss(active[0]); active[0].id == 0 && !math.IsNaN(l) && !math.IsInf(l, 0) {
+			j.epochLoss += l
+			j.lossSteps++
+		}
+		globalStep := round + 1
+		if globalStep%cfg.AveragePeriod == 0 {
+			roundSpan := j.trainSpan.Child("avg-round", j.clk.now())
+			averageRound(active, cfg, net, j.clk, round, j.modelSize, j.agg, j.chargeAgg, j.rep, stats)
+			roundSpan.End(j.clk.now())
+			if j.inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+				takeSnapshot(j.store, j.inj, round+1, active[0].net, stats, j.ins)
+			}
+		}
+	}
+	stats.Steps++
+	j.ins.steps.Inc()
+
+	j.step++
+	if j.step == j.stepsPerEpoch {
+		if j.lossSteps > 0 {
+			stats.EpochLoss = append(stats.EpochLoss, j.epochLoss/float64(j.lossSteps))
+		} else {
+			stats.EpochLoss = append(stats.EpochLoss, math.NaN())
+		}
+		j.step = 0
+		j.epoch++
+	}
+	if j.epoch < j.cfg.Epochs {
+		j.actor.At(j.k.Now(), j.runRound)
+	} else {
+		j.done = true
+	}
+}
+
+// Done reports whether every scheduled round has executed.
+func (j *Job) Done() bool { return j.done }
+
+// Result finalises the run — consensus averaging over surviving workers,
+// reputation-ledger rollup, span and gauge flushes — and returns the
+// consensus model plus stats. Call it after the kernel has drained the
+// job's events (Done reports true); calling again returns the same
+// finalised state.
+func (j *Job) Result() (*nn.Network, Stats, error) {
+	if j.finalized {
+		return j.global, j.stats, nil
+	}
+	j.finalized = true
+	stats := &j.stats
+	// Final consensus over the workers that are up at the end; workers
+	// still down (crashed near the finish) hold stale parameters and are
+	// left out, exactly as a parameter server would ignore them.
+	totalRounds := j.cfg.Epochs * j.stepsPerEpoch
+	var final []*worker
+	for _, wk := range j.workers {
+		if wk.downTo <= totalRounds {
+			final = append(final, wk)
+		}
+	}
+	if len(final) == 0 {
+		final = j.workers
+	}
+	averageParams(final)
+	j.global.SetParamVector(final[0].net.ParamVector())
+	if j.rep != nil {
+		led := j.rep.Ledger()
+		stats.Quarantine = led
+		stats.Quarantines = led.Quarantines()
+		stats.Readmissions = led.Readmissions()
+		j.ins.quarantines.Add(int64(stats.Quarantines))
+		j.ins.readmissions.Add(int64(stats.Readmissions))
+	}
+	stats.SimSeconds = j.clk.now()
+	j.trainSpan.End(stats.SimSeconds)
+	j.ins.simSeconds.Set(stats.SimSeconds)
+	j.ins.aggSeconds.Set(stats.AggSeconds)
+	return j.global, j.stats, nil
+}

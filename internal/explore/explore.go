@@ -32,17 +32,28 @@ type ViewGrid struct {
 
 // NewViewGrid builds the candidate-view lattice: rows filter the table to a
 // quantile slice of filterCol; columns vary the group-by bucket width on
-// groupCol. The aggregate inspected is the mean of valCol per group.
-func NewViewGrid(t *db.Table, filterCol, groupCol, valCol string, rows, cols int) *ViewGrid {
+// groupCol. The aggregate inspected is the mean of valCol per group. All
+// three column names are validated here, so the per-view queries cannot
+// fail later in the session.
+func NewViewGrid(t *db.Table, filterCol, groupCol, valCol string, rows, cols int) (*ViewGrid, error) {
+	if _, err := t.Column(valCol); err != nil {
+		return nil, err
+	}
 	g := &ViewGrid{
 		Rows: rows, Cols: cols,
 		table:    t,
 		groupCol: groupCol,
 		valCol:   valCol,
 	}
-	g.rowQuants = t.ColumnQuantiles(filterCol, rows)
+	var err error
+	if g.rowQuants, err = t.ColumnQuantiles(filterCol, rows); err != nil {
+		return nil, err
+	}
 	g.colBuckets = make([]float64, cols)
-	q := t.ColumnQuantiles(groupCol, 1)
+	q, err := t.ColumnQuantiles(groupCol, 1)
+	if err != nil {
+		return nil, err
+	}
 	span := q[len(q)-1] - q[0]
 	if span <= 0 {
 		span = 1
@@ -57,7 +68,7 @@ func NewViewGrid(t *db.Table, filterCol, groupCol, valCol string, rows, cols int
 		g.evaluated[r] = make([]bool, cols)
 	}
 	g.filterColName = filterCol
-	return g
+	return g, nil
 }
 
 // Score evaluates view (r, c), issuing the underlying queries on first
@@ -75,7 +86,9 @@ func (g *ViewGrid) Score(r, c int) float64 {
 	if sub.Rows() < 4 {
 		return 0
 	}
-	means := sub.GroupMeans(g.groupCol, g.valCol, g.colBuckets[c])
+	// Column names were validated at construction and the filtered table
+	// shares the schema, so the query cannot fail.
+	means, _ := sub.GroupMeans(g.groupCol, g.valCol, g.colBuckets[c])
 	if len(means) < 2 {
 		return 0
 	}
@@ -120,10 +133,12 @@ func filterTable(t *db.Table, col string, lo, hi float64) *db.Table {
 	cols := t.Columns()
 	vals := make([]float64, len(cols))
 	cdata := make([][]float64, len(cols))
+	// Names come from Columns() and the filter column was validated at
+	// grid construction; row widths match by construction.
 	for i, c := range cols {
-		cdata[i] = t.Column(c)
+		cdata[i], _ = t.Column(c)
 	}
-	f := t.Column(col)
+	f, _ := t.Column(col)
 	for r := 0; r < t.Rows(); r++ {
 		if f[r] < lo || f[r] > hi {
 			continue
@@ -131,7 +146,7 @@ func filterTable(t *db.Table, col string, lo, hi float64) *db.Table {
 		for i := range cols {
 			vals[i] = cdata[i][r]
 		}
-		out.Append(vals...)
+		_ = out.Append(vals...)
 	}
 	return out
 }

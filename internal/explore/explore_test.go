@@ -1,11 +1,21 @@
 package explore
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"dlsys/internal/db"
 )
+
+// must unwraps (value, error) pairs whose arguments are valid by
+// construction; a failure is a test bug, so it panics.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // insightTable builds a table with a hidden insight: within a narrow band
 // of `f`, groups of `g` have wildly different `v` means; elsewhere `v` is
@@ -27,7 +37,7 @@ func insightTable(rng *rand.Rand, n int) *db.Table {
 func TestViewGridScoresDetectInsight(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	tab := insightTable(rng, 4000)
-	g := NewViewGrid(tab, "f", "g", "v", 5, 4)
+	g := must(NewViewGrid(tab, "f", "g", "v", 5, 4))
 	max := g.MaxScore()
 	if max < 0.2 {
 		t.Fatalf("max interestingness %g too low — insight not visible", max)
@@ -43,7 +53,7 @@ func TestViewGridScoresDetectInsight(t *testing.T) {
 func TestViewGridCachesEvaluations(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	tab := insightTable(rng, 1000)
-	g := NewViewGrid(tab, "f", "g", "v", 4, 3)
+	g := must(NewViewGrid(tab, "f", "g", "v", 4, 3))
 	g.Score(1, 1)
 	g.Score(1, 1)
 	g.Score(1, 1)
@@ -56,19 +66,19 @@ func TestQLearnExploreFindsInsightFasterThanRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	tab := insightTable(rng, 4000)
 	// Ground-truth max score (on a throwaway grid).
-	gt := NewViewGrid(tab, "f", "g", "v", 6, 4)
+	gt := must(NewViewGrid(tab, "f", "g", "v", 6, 4))
 	target := gt.MaxScore() * 0.9
 
 	trials := 6
 	var rlQueries, rwQueries, rlHits, rwHits int
 	for s := 0; s < trials; s++ {
-		grl := NewViewGrid(tab, "f", "g", "v", 6, 4)
+		grl := must(NewViewGrid(tab, "f", "g", "v", 6, 4))
 		rl := QLearnExplore(rand.New(rand.NewSource(int64(100+s))), grl, 8, 12, target)
 		if rl.QueriesToHit > 0 {
 			rlHits++
 			rlQueries += rl.QueriesToHit
 		}
-		grw := NewViewGrid(tab, "f", "g", "v", 6, 4)
+		grw := must(NewViewGrid(tab, "f", "g", "v", 6, 4))
 		rw := RandomWalk(rand.New(rand.NewSource(int64(200+s))), grw, 96, target)
 		if rw.QueriesToHit > 0 {
 			rwHits++
@@ -159,5 +169,22 @@ func TestAutoencoderRoundTripShape(t *testing.T) {
 	recon := ae.Decompress(latent)
 	if recon.Dim(0) != 100 || recon.Dim(1) != 4 {
 		t.Fatalf("reconstruction shape %v", recon.Shape())
+	}
+}
+
+func TestNewViewGridRejectsUnknownColumns(t *testing.T) {
+	tab := db.NewTable("t", "f", "g", "v")
+	must(0, tab.Append(1, 2, 3))
+	for _, cols := range [][3]string{
+		{"ghost", "g", "v"}, {"f", "ghost", "v"}, {"f", "g", "ghost"},
+	} {
+		_, err := NewViewGrid(tab, cols[0], cols[1], cols[2], 2, 2)
+		if err == nil {
+			t.Fatalf("grid over %v built despite unknown column", cols)
+		}
+		var ae *db.ArgError
+		if !errors.As(err, &ae) {
+			t.Fatalf("error %v is not a *db.ArgError", err)
+		}
 	}
 }

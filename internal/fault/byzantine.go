@@ -40,15 +40,11 @@ func (i *Injector) ByzantineWorker(worker int) bool {
 // ByzantineFires reports whether the (adversarial) worker attacks at the
 // given round: always false for honest workers, and a deterministic
 // ByzantineRate draw keyed by the attack kind for adversarial ones.
+// Byzantine schedule windows (resolved at the attached clock's time) make
+// their listed workers adversarial for the window's duration.
 func (i *Injector) ByzantineFires(worker, round int) bool {
-	if i == nil || !i.ByzantineWorker(worker) {
-		return false
-	}
-	rate := i.cfg.ByzantineRate
-	if rate == 0 {
-		rate = 1
-	}
-	return i.Chance(i.cfg.ByzantineKind, worker, round, 0, rate)
+	_, fires := i.byzantineAt(worker, round, 0, false)
+	return fires
 }
 
 // ColludesBatch reports whether the worker is a colluder attacking this
@@ -56,7 +52,8 @@ func (i *Injector) ByzantineFires(worker, round int) bool {
 // ColludeShuffleLabels) before the gradient is computed, then amplified by
 // CorruptGradient.
 func (i *Injector) ColludesBatch(worker, round int) bool {
-	return i != nil && i.cfg.ByzantineKind == KindCollude && i.ByzantineFires(worker, round)
+	kind, fires := i.byzantineAt(worker, round, 0, false)
+	return fires && kind == KindCollude
 }
 
 // ColludeShuffleLabels rotates the one-hot rows of a flat [rows × classes]
@@ -92,10 +89,14 @@ func (i *Injector) ColludeShuffleLabels(labels []float64, rows, classes, round i
 //   - KindCollude: g ← ColludeBoost·g, amplifying the label-flip gradient
 //     the coalition produced via ColludeShuffleLabels
 func (i *Injector) CorruptGradient(g []float64, worker, round int) bool {
-	if i == nil || len(g) == 0 || !i.ByzantineFires(worker, round) {
+	if i == nil || len(g) == 0 {
 		return false
 	}
-	switch i.cfg.ByzantineKind {
+	kind, fires := i.byzantineAt(worker, round, 0, false)
+	if !fires {
+		return false
+	}
+	switch kind {
 	case KindSignFlip:
 		f := i.cfg.SignFlipFactor
 		if f <= 0 {

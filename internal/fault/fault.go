@@ -156,6 +156,13 @@ type Config struct {
 	// ColludeBoost amplifies the coalition's coordinated label-flip
 	// gradients under KindCollude (default 50).
 	ColludeBoost float64
+
+	// Schedule lists declarative time-windowed fault rules resolved
+	// against simulated time — see Window. A kind may be driven either by
+	// its flat rate above or by windows, never both (Validate rejects the
+	// conflict), so there is one source of truth for when each class
+	// fires.
+	Schedule []Window
 }
 
 // Rate builds a Config in which one knob drives every fault class at
@@ -204,7 +211,7 @@ func Byzantine(seed int64, kind Kind, workers ...int) Config {
 func (c Config) Enabled() bool {
 	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0 ||
 		c.BatchCorruptProb > 0 || c.LabelNoiseProb > 0 || c.LRSpikeProb > 0 ||
-		len(c.ByzantineWorkers) > 0
+		len(c.ByzantineWorkers) > 0 || len(c.Schedule) > 0
 }
 
 // Validate checks every probability is in [0, 1] and that the Byzantine
@@ -235,7 +242,7 @@ func (c Config) Validate() error {
 			}
 		}
 	}
-	return nil
+	return c.validateSchedule()
 }
 
 // ConfigError reports an invalid fault-config field: an out-of-range
@@ -255,9 +262,11 @@ func (e *ConfigError) Error() string {
 }
 
 // Injector answers "does fault X happen at (worker, step, attempt)?"
-// deterministically. It is stateless and safe for concurrent use.
+// deterministically. Apart from the optional clock (set once via SetClock
+// before any concurrent use), it is stateless and safe for concurrent use.
 type Injector struct {
-	cfg Config
+	cfg   Config
+	clock Clock
 }
 
 // NewInjector builds an injector for the config. A nil injector (or one
@@ -309,12 +318,14 @@ func (i *Injector) Exp(kind Kind, worker, step, attempt int, mean float64) float
 	return -mean * math.Log(1-i.unit(kind, worker, step, attempt))
 }
 
-// Crashes reports whether the worker crashes at the given round.
+// Crashes reports whether the worker crashes at the given round. With a
+// clock attached, crash windows active at the clock's time add to the flat
+// rate.
 func (i *Injector) Crashes(worker, round int) bool {
 	if i == nil {
 		return false
 	}
-	return i.Chance(KindCrash, worker, round, 0, i.cfg.CrashProb)
+	return i.Chance(KindCrash, worker, round, 0, i.probNow(KindCrash, worker, i.cfg.CrashProb))
 }
 
 // RestartDelay returns how many rounds a crashed worker stays down.
@@ -327,8 +338,22 @@ func (i *Injector) RestartDelay() int {
 
 // StraggleFactor returns the latency multiplier for the worker's compute
 // at the given round: 1 normally, the configured factor when straggling.
+// With a clock attached, straggle windows active at the clock's time drive
+// the draw (and supply the factor) instead of the flat rate.
 func (i *Injector) StraggleFactor(worker, round int) float64 {
-	if i == nil || !i.Chance(KindStraggle, worker, round, 0, i.cfg.StragglerProb) {
+	if i == nil {
+		return 1
+	}
+	if t, ok := i.clockNow(); ok {
+		return i.StraggleFactorAt(worker, round, t)
+	}
+	return i.straggleFlat(worker, round)
+}
+
+// straggleFlat is the rate-driven straggler draw, shared by the clockless
+// and out-of-window paths.
+func (i *Injector) straggleFlat(worker, round int) float64 {
+	if !i.Chance(KindStraggle, worker, round, 0, i.cfg.StragglerProb) {
 		return 1
 	}
 	if i.cfg.StragglerFactor <= 1 {
@@ -343,7 +368,7 @@ func (i *Injector) Drops(worker, round, attempt int) bool {
 	if i == nil {
 		return false
 	}
-	return i.Chance(KindDrop, worker, round, attempt, i.cfg.DropProb)
+	return i.Chance(KindDrop, worker, round, attempt, i.probNow(KindDrop, worker, i.cfg.DropProb))
 }
 
 // Corrupts reports whether the attempt-th transmission arrives with
@@ -352,7 +377,7 @@ func (i *Injector) Corrupts(worker, round, attempt int) bool {
 	if i == nil {
 		return false
 	}
-	return i.Chance(KindCorrupt, worker, round, attempt, i.cfg.CorruptProb)
+	return i.Chance(KindCorrupt, worker, round, attempt, i.probNow(KindCorrupt, worker, i.cfg.CorruptProb))
 }
 
 // CorruptPayload deterministically flips one bit of payload (chosen by the

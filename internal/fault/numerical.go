@@ -15,7 +15,7 @@ func (i *Injector) CorruptsBatch(worker, step int) bool {
 	if i == nil {
 		return false
 	}
-	return i.Chance(KindBatchCorrupt, worker, step, 0, i.cfg.BatchCorruptProb)
+	return i.Chance(KindBatchCorrupt, worker, step, 0, i.probNow(KindBatchCorrupt, worker, i.cfg.BatchCorruptProb))
 }
 
 // CorruptBatchValues deterministically poisons a batch in place and returns
@@ -49,7 +49,7 @@ func (i *Injector) LabelNoise(worker, step int) bool {
 	if i == nil {
 		return false
 	}
-	return i.Chance(KindLabelNoise, worker, step, 0, i.cfg.LabelNoiseProb)
+	return i.Chance(KindLabelNoise, worker, step, 0, i.probNow(KindLabelNoise, worker, i.cfg.LabelNoiseProb))
 }
 
 // ShuffleLabels deterministically rotates the one-hot rows of a flat
@@ -73,8 +73,23 @@ func (i *Injector) ShuffleLabels(labels []float64, rows, classes, worker, step i
 
 // LRSpikeFactor returns the learning-rate multiplier for the worker's step:
 // 1 normally, the configured spike factor (default 64) when the fault fires.
+// LR-spike windows supply their own Factor when they drive the draw.
 func (i *Injector) LRSpikeFactor(worker, step int) float64 {
-	if i == nil || !i.Chance(KindLRSpike, worker, step, 0, i.cfg.LRSpikeProb) {
+	if i == nil {
+		return 1
+	}
+	if t, ok := i.clockNow(); ok {
+		if wp, wf := i.windowStateAt(KindLRSpike, worker, t); wp > 0 {
+			if !i.Chance(KindLRSpike, worker, step, 0, wp) {
+				return 1
+			}
+			if wf <= 1 {
+				return 64
+			}
+			return wf
+		}
+	}
+	if !i.Chance(KindLRSpike, worker, step, 0, i.cfg.LRSpikeProb) {
 		return 1
 	}
 	if i.cfg.LRSpikeFactor <= 1 {

@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// fixedClock pins the injector's simulated time for window tests.
+type fixedClock struct{ t float64 }
+
+func (c *fixedClock) Now() float64 { return c.t }
+
+func TestWindowActivation(t *testing.T) {
+	inj := NewInjector(Config{Seed: 7, Schedule: []Window{
+		{Kind: KindCrash, Workers: []int{3}, StartS: 120, EndS: 130, Prob: 1},
+	}})
+	clk := &fixedClock{}
+	inj.SetClock(clk)
+
+	for _, tt := range []struct {
+		t      float64
+		worker int
+		want   bool
+	}{
+		{119.9, 3, false}, // before the window
+		{120, 3, true},    // inclusive start
+		{125, 3, true},
+		{125, 2, false}, // worker not listed
+		{130, 3, false}, // exclusive end
+		{500, 3, false},
+	} {
+		clk.t = tt.t
+		if got := inj.Crashes(tt.worker, 0); got != tt.want {
+			t.Errorf("Crashes(worker=%d) at t=%g = %v, want %v", tt.worker, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestOpenEndedWindow(t *testing.T) {
+	inj := NewInjector(Config{Seed: 7, Schedule: []Window{
+		{Kind: KindCrash, StartS: 600, Prob: 1}, // EndS 0 = open-ended, all workers
+	}})
+	clk := &fixedClock{t: 599}
+	inj.SetClock(clk)
+	if inj.Crashes(0, 0) {
+		t.Fatal("open-ended window fired before its start")
+	}
+	clk.t = 1e9
+	if !inj.Crashes(0, 0) {
+		t.Fatal("open-ended window inactive long after its start")
+	}
+}
+
+func TestZeroLengthWindowNeverFires(t *testing.T) {
+	cfg := Config{Seed: 7, Schedule: []Window{
+		{Kind: KindCrash, StartS: 50, EndS: 50, Prob: 1},
+	}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero-length window rejected: %v", err)
+	}
+	inj := NewInjector(cfg)
+	clk := &fixedClock{t: 50}
+	inj.SetClock(clk)
+	if inj.Crashes(0, 0) {
+		t.Fatal("zero-length window fired at its own boundary")
+	}
+}
+
+// TestOverlappingWindowsCombine checks that two overlapping windows of the
+// same kind combine probabilities as 1-(1-p1)(1-p2) and multiply factors.
+func TestOverlappingWindowsCombine(t *testing.T) {
+	inj := NewInjector(Config{Seed: 7, Schedule: []Window{
+		{Kind: KindStraggle, StartS: 0, EndS: 100, Prob: 0.5, Factor: 2},
+		{Kind: KindStraggle, StartS: 50, EndS: 200, Prob: 0.5, Factor: 3},
+	}})
+	prob, factor := inj.windowStateAt(KindStraggle, 0, 75)
+	if prob != 0.75 {
+		t.Fatalf("overlap probability %g, want 0.75", prob)
+	}
+	if factor != 6 {
+		t.Fatalf("overlap factor %g, want 6 (factors multiply)", factor)
+	}
+	// Outside the overlap only one window contributes.
+	prob, factor = inj.windowStateAt(KindStraggle, 0, 150)
+	if prob != 0.5 || factor != 3 {
+		t.Fatalf("single-window state (%g, %g), want (0.5, 3)", prob, factor)
+	}
+	// Straggle draws in the overlap use the combined probability: over many
+	// keyed draws roughly 75% should straggle with factor 6.
+	hits := 0
+	for step := 0; step < 2000; step++ {
+		if f := inj.StraggleFactorAt(0, step, 75); f > 1 {
+			hits++
+			if f != 6 {
+				t.Fatalf("straggle factor %g in overlap, want 6", f)
+			}
+		}
+	}
+	if hits < 1350 || hits > 1650 {
+		t.Fatalf("combined straggle rate %d/2000, want ~1500", hits)
+	}
+}
+
+func TestArrivalWindowScalesRate(t *testing.T) {
+	base := NewInjector(Config{Seed: 11})
+	crowd := NewInjector(Config{Seed: 11, Schedule: []Window{
+		{Kind: KindArrival, StartS: 300, EndS: 360, Factor: 8},
+	}})
+	var quiet, spike float64
+	for id := 0; id < 500; id++ {
+		quiet += crowd.ArrivalGapAt(id, 1, 100) // outside the window
+		spike += crowd.ArrivalGapAt(id, 1, 330) // inside the flash crowd
+	}
+	if quiet == 0 || spike == 0 {
+		t.Fatal("arrival gaps degenerate")
+	}
+	if ratio := quiet / spike; ratio < 7.9 || ratio > 8.1 {
+		t.Fatalf("flash-crowd rate ratio %g, want exactly 8 (same hash stream, scaled mean)", ratio)
+	}
+	// Outside any window the gap matches the plain Exp draw.
+	if got, want := crowd.ArrivalGapAt(7, 1, 100), base.Exp(KindArrival, 0, 7, 0, 1); got != want {
+		t.Fatalf("out-of-window gap %g differs from plain Exp %g", got, want)
+	}
+}
+
+func TestByzantineWindow(t *testing.T) {
+	inj := NewInjector(Config{Seed: 5, Schedule: []Window{
+		{Kind: KindSignFlip, Workers: []int{5, 6}, StartS: 600},
+	}})
+	clk := &fixedClock{t: 100}
+	inj.SetClock(clk)
+	g := []float64{1, 1}
+	if inj.CorruptGradient(g, 5, 0) {
+		t.Fatal("Byzantine window attacked before its start")
+	}
+	clk.t = 700
+	if !inj.CorruptGradient(g, 5, 0) {
+		t.Fatal("Byzantine window inactive after its start")
+	}
+	if g[0] != -100 {
+		t.Fatalf("sign-flip produced %g, want -100 (default amplification)", g[0])
+	}
+	if inj.CorruptGradient(g, 0, 0) {
+		t.Fatal("worker outside the coalition attacked")
+	}
+	if !inj.ByzantineFires(6, 3) {
+		t.Fatal("coalition member 6 did not fire inside the window")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"unknown kind", Config{Schedule: []Window{{Kind: kindEnd, Prob: 1}}}, "Schedule"},
+		{"negative start", Config{Schedule: []Window{{Kind: KindCrash, StartS: -1, Prob: 1}}}, "Schedule"},
+		{"end before start", Config{Schedule: []Window{{Kind: KindCrash, StartS: 10, EndS: 5, Prob: 1}}}, "Schedule"},
+		{"probability above one", Config{Schedule: []Window{{Kind: KindCrash, Prob: 1.5}}}, "Schedule"},
+		{"zero probability", Config{Schedule: []Window{{Kind: KindCrash}}}, "Schedule"},
+		{"negative worker", Config{Schedule: []Window{{Kind: KindCrash, Prob: 1, Workers: []int{-3}}}}, "Schedule"},
+		{"arrival without factor", Config{Schedule: []Window{{Kind: KindArrival}}}, "Schedule"},
+		{"negative factor", Config{Schedule: []Window{{Kind: KindStraggle, Prob: 1, Factor: -2}}}, "Schedule"},
+		{"crash rate conflict",
+			Config{CrashProb: 0.1, Schedule: []Window{{Kind: KindCrash, Prob: 1}}}, "CrashProb"},
+		{"lr-spike rate conflict",
+			Config{LRSpikeProb: 0.2, Schedule: []Window{{Kind: KindLRSpike, Prob: 0.5}}}, "LRSpikeProb"},
+		{"byzantine rate conflict",
+			Config{ByzantineWorkers: []int{1}, ByzantineKind: KindSignFlip,
+				Schedule: []Window{{Kind: KindScaleAttack}}}, "Schedule"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid schedule", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %T is not a *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: ConfigError.Field = %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+	// The non-conflicting combination is legal: rate-driven drops plus a
+	// scheduled crash window.
+	ok := Config{DropProb: 0.1, Schedule: []Window{{Kind: KindCrash, StartS: 10, EndS: 20, Prob: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid mixed config rejected: %v", err)
+	}
+}
+
+// TestScheduledInjectionDeterminism replays a mixed schedule twice and
+// requires the full fault trace to match draw for draw.
+func TestScheduledInjectionDeterminism(t *testing.T) {
+	trace := func() []float64 {
+		inj := NewInjector(Config{Seed: 99, Schedule: []Window{
+			{Kind: KindCrash, Workers: []int{3}, StartS: 120, EndS: 130, Prob: 1},
+			{Kind: KindStraggle, StartS: 200, EndS: 400, Prob: 0.3, Factor: 4},
+			{Kind: KindArrival, StartS: 300, EndS: 360, Factor: 8},
+			{Kind: KindSignFlip, Workers: []int{5}, StartS: 600},
+			{Kind: KindBatchCorrupt, StartS: 900, EndS: 950, Prob: 0.5},
+		}})
+		clk := &fixedClock{}
+		inj.SetClock(clk)
+		var out []float64
+		for step := 0; step < 200; step++ {
+			clk.t = float64(step * 6)
+			for w := 0; w < 8; w++ {
+				b := 0.0
+				if inj.Crashes(w, step) {
+					b = 1
+				}
+				g := []float64{1}
+				if inj.CorruptGradient(g, w, step) {
+					b += 2
+				}
+				if inj.CorruptsBatch(w, step) {
+					b += 4
+				}
+				out = append(out, b, inj.StraggleFactor(w, step), g[0])
+			}
+			out = append(out, inj.ArrivalGapAt(step, 0.5, clk.t))
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	fired := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scheduled fault trace diverged at draw %d: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] != 0 && a[i] != 1 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("schedule injected nothing over the whole trace")
+	}
+}

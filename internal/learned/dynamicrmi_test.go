@@ -11,7 +11,7 @@ import (
 
 func TestDynamicRMIInsertAndContains(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	keys := data.GenerateKeys(rng, data.Uniform, 5000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 5000))
 	d := NewDynamicRMI(keys, 64)
 	// All original keys present.
 	for i := 0; i < len(keys); i += 37 {
@@ -61,7 +61,7 @@ func TestDynamicRMIDuplicateInsertIgnored(t *testing.T) {
 
 func TestDynamicRMIRankMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	keys := data.GenerateKeys(rng, data.ZipfGaps, 3000)
+	keys := must(data.GenerateKeys(rng, data.ZipfGaps, 3000))
 	d := NewDynamicRMI(keys, 32)
 	inserted := data.NegativeKeys(rng, keys, 500)
 	all := append(append([]uint64(nil), keys...), inserted...)
@@ -113,7 +113,7 @@ func TestDynamicRMIOracleQuick(t *testing.T) {
 
 func TestDynamicRMIMemoryStaysSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	keys := data.GenerateKeys(rng, data.Uniform, 20000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 20000))
 	d := NewDynamicRMI(keys, 128)
 	for _, k := range data.NegativeKeys(rng, keys, 5000) {
 		d.Insert(k)

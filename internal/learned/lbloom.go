@@ -47,8 +47,9 @@ const numKeyFeatures = 3
 
 // BuildLearnedBloom trains the classifier on the key set against the given
 // sample of negatives and assembles the backup filter from the classifier's
-// false negatives.
-func BuildLearnedBloom(rng *rand.Rand, keys, negatives []uint64, cfg LearnedBloomConfig) *LearnedBloom {
+// false negatives. A typed error from the backup filter rejects a
+// BackupFPR outside (0,1).
+func BuildLearnedBloom(rng *rand.Rand, keys, negatives []uint64, cfg LearnedBloomConfig) (*LearnedBloom, error) {
 	maxKey := keys[len(keys)-1]
 	for _, k := range negatives {
 		if k > maxKey {
@@ -88,11 +89,15 @@ func BuildLearnedBloom(rng *rand.Rand, keys, negatives []uint64, cfg LearnedBloo
 			fns = append(fns, k)
 		}
 	}
-	lb.backup = db.NewBloom(maxInt(len(fns), 1), cfg.BackupFPR)
+	backup, err := db.NewBloom(maxInt(len(fns), 1), cfg.BackupFPR)
+	if err != nil {
+		return nil, err
+	}
+	lb.backup = backup
 	for _, k := range fns {
 		lb.backup.Add(k)
 	}
-	return lb
+	return lb, nil
 }
 
 func maxInt(a, b int) int {

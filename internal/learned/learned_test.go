@@ -9,10 +9,19 @@ import (
 	"dlsys/internal/db"
 )
 
+// must unwraps (value, error) pairs whose arguments are valid by
+// construction; a failure is a test bug, so it panics.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestRMIFindsEveryKey(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, dist := range []data.KeyDistribution{data.Uniform, data.ZipfGaps, data.Lognormal} {
-		keys := data.GenerateKeys(rng, dist, 20000)
+		keys := must(data.GenerateKeys(rng, dist, 20000))
 		idx := BuildRMI(keys, 128)
 		for i, k := range keys {
 			pos, ok := idx.Lookup(keys, k)
@@ -25,7 +34,7 @@ func TestRMIFindsEveryKey(t *testing.T) {
 
 func TestRMIAbsentKeys(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	keys := data.GenerateKeys(rng, data.Uniform, 10000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 10000))
 	for _, k := range data.NegativeKeys(rng, keys, 2000) {
 		if _, ok := BuildRMI(keys, 64).Lookup(keys, k); ok {
 			t.Fatalf("found absent key %d", k)
@@ -35,7 +44,7 @@ func TestRMIAbsentKeys(t *testing.T) {
 
 func TestRMISmallerThanBTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	keys := data.GenerateKeys(rng, data.Uniform, 100000)
+	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
 	idx := BuildRMI(keys, 256)
 	bt := db.BulkLoadBTree(keys)
 	if idx.MemoryBytes()*10 >= bt.MemoryBytes() {
@@ -45,7 +54,7 @@ func TestRMISmallerThanBTree(t *testing.T) {
 
 func TestRMIMoreLeavesSmallerWindows(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	keys := data.GenerateKeys(rng, data.Lognormal, 50000)
+	keys := must(data.GenerateKeys(rng, data.Lognormal, 50000))
 	coarse := BuildRMI(keys, 16)
 	fine := BuildRMI(keys, 1024)
 	if fine.MaxSearchWindow() >= coarse.MaxSearchWindow() {
@@ -58,9 +67,9 @@ func TestLearnedBloomNoFalseNegatives(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	keys := ClusteredKeys(rng, 3000, 4, 1<<30)
 	negs := data.NegativeKeys(rng, keys, 3000)
-	lb := BuildLearnedBloom(rng, keys, negs, LearnedBloomConfig{
+	lb := must(BuildLearnedBloom(rng, keys, negs, LearnedBloomConfig{
 		Hidden: 12, Epochs: 30, LR: 0.01, TargetFPR: 0.05, BackupFPR: 0.05,
-	})
+	}))
 	for _, k := range keys {
 		if !lb.MayContain(k) {
 			t.Fatalf("false negative for %d", k)
@@ -74,14 +83,14 @@ func TestLearnedBloomCompetitiveMemory(t *testing.T) {
 	trainNegs := data.NegativeKeys(rng, keys, 5000)
 	testNegs := data.NegativeKeys(rng, keys, 20000)
 
-	lb := BuildLearnedBloom(rng, keys, trainNegs, LearnedBloomConfig{
+	lb := must(BuildLearnedBloom(rng, keys, trainNegs, LearnedBloomConfig{
 		Hidden: 12, Epochs: 40, LR: 0.01, TargetFPR: 0.03, BackupFPR: 0.03,
-	})
+	}))
 	lfpr := lb.MeasuredFPR(testNegs)
 
 	// Classic filter sized to the SAME measured FPR.
 	target := math.Max(lfpr, 0.001)
-	cb := db.NewBloom(len(keys), target)
+	cb := must(db.NewBloom(len(keys), target))
 	for _, k := range keys {
 		cb.Add(k)
 	}
@@ -104,12 +113,12 @@ func TestSelectivityEstimatorBeatsHistogramsOnCorrelatedData(t *testing.T) {
 	est := TrainSelectivityEstimator(rng, tab, SelectivityConfig{
 		Hidden: []int{32, 32}, Queries: 1500, Epochs: 60, LR: 0.005, BatchSize: 64,
 	})
-	hist := db.NewIndependentEstimator(tab, 32)
+	hist := must(db.NewIndependentEstimator(tab, 32))
 
 	qrng := rand.New(rand.NewSource(8))
 	nnMed, nnP95 := QErrorStats(qrng, tab, est.Estimate, 300)
 	qrng = rand.New(rand.NewSource(8))
-	hMed, hP95 := QErrorStats(qrng, tab, hist.Estimate, 300)
+	hMed, hP95 := QErrorStats(qrng, tab, func(p []db.Pred) float64 { return must(hist.Estimate(p)) }, 300)
 
 	t.Logf("NN q-error: med %.2f p95 %.2f; histogram: med %.2f p95 %.2f", nnMed, nnP95, hMed, hP95)
 	if nnMed >= hMed {

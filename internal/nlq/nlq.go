@@ -27,8 +27,10 @@ type Query struct {
 	Lo, Hi    float64
 }
 
-// Execute runs the query against a table.
-func (q Query) Execute(t *db.Table) float64 {
+// Execute runs the query against a table. A parse that hallucinated a
+// column or aggregate surfaces as the table's typed argument error rather
+// than a panic — the natural failure mode for language-derived queries.
+func (q Query) Execute(t *db.Table) (float64, error) {
 	var preds []db.Pred
 	if q.FilterCol != "" {
 		preds = append(preds, db.Pred{Col: q.FilterCol, Lo: q.Lo, Hi: q.Hi})

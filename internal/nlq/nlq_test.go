@@ -1,11 +1,21 @@
 package nlq
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"dlsys/internal/db"
 )
+
+// must unwraps (value, error) pairs whose arguments are valid by
+// construction; a failure is a test bug, so it panics.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 func testSchema() Schema {
 	return Schema{
@@ -87,7 +97,7 @@ func TestEndToEndExecution(t *testing.T) {
 	if q.Agg != db.AggMean || q.TargetCol != "salary" || q.FilterCol != "age" {
 		t.Fatalf("parsed %+v", q)
 	}
-	if got := q.Execute(tab); got != 250 {
+	if got := must(q.Execute(tab)); got != 250 {
 		t.Fatalf("executed answer %g, want 250", got)
 	}
 
@@ -96,7 +106,7 @@ func TestEndToEndExecution(t *testing.T) {
 	if q2.Agg != db.AggMean || q2.TargetCol != "salary" || q2.FilterCol != "age" {
 		t.Fatalf("paraphrase parsed as %+v", q2)
 	}
-	if got := q2.Execute(tab); got != 250 {
+	if got := must(q2.Execute(tab)); got != 250 {
 		t.Fatalf("paraphrase answer %g, want 250", got)
 	}
 }
@@ -119,5 +129,19 @@ func TestVocabularyDropsNumbers(t *testing.T) {
 	// "average", "salary", "between", "and" = 4 tokens, numbers excluded.
 	if sum != 4 {
 		t.Fatalf("encoded %g tokens, want 4", sum)
+	}
+}
+
+func TestExecuteRejectsHallucinatedColumn(t *testing.T) {
+	tab := db.NewTable("people", "salary", "age")
+	must(0, tab.Append(100, 30))
+	q := Query{Agg: db.AggMean, TargetCol: "bonus"}
+	_, err := q.Execute(tab)
+	if err == nil {
+		t.Fatal("query over a nonexistent column executed")
+	}
+	var ae *db.ArgError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not a *db.ArgError", err)
 	}
 }

@@ -206,6 +206,51 @@ func TestReputationReadmitsAfterProbation(t *testing.T) {
 	}
 }
 
+// TestReputationProbationExit pins the full probation lifecycle round by
+// round: a transient offender is quarantined exactly when its streak
+// reaches Patience, sits out exactly Probation rounds, is readmitted by
+// BeginRound with score and streak reset, and a single post-readmission
+// spike (streak 1 < Patience) never re-quarantines it.
+func TestReputationProbationExit(t *testing.T) {
+	rep := NewReputation(ReputationConfig{Probation: 4, Warmup: 0, Patience: 2})
+	workers := []int{0, 1, 2}
+	for round := 0; round < 15; round++ {
+		rep.BeginRound(round)
+		// Offense rounds 0-1 trigger quarantine at round 1 (streak =
+		// Patience), so the exclusion window is rounds 2-5 and
+		// BeginRound(6) readmits.
+		if got, want := rep.Quarantined(2), round >= 2 && round < 6; got != want {
+			t.Fatalf("round %d: Quarantined(2) = %v, want %v", round, got, want)
+		}
+		d := []float64{1, 1, 1}
+		switch {
+		case round < 2:
+			d[2] = 100 // persistent offense: quarantined on the 2nd
+		case round == 7:
+			d[2] = 30 // one spike after readmission: streak 1, forgiven
+		}
+		rep.Observe(workers, d)
+	}
+	led := rep.Ledger()
+	evs := led.Events()
+	if len(evs) != 2 {
+		t.Fatalf("ledger has %d events, want 2 (quarantine+readmit): %v", len(evs), evs)
+	}
+	if evs[0].Kind != EventQuarantine || evs[0].Worker != 2 || evs[0].Round != 1 {
+		t.Fatalf("first event %+v, want quarantine of worker 2 at round 1", evs[0])
+	}
+	if evs[1].Kind != EventReadmit || evs[1].Worker != 2 || evs[1].Round != 6 {
+		t.Fatalf("second event %+v, want readmit of worker 2 at round 6", evs[1])
+	}
+	if led.Quarantines() != 1 || led.Readmissions() != 1 {
+		t.Fatalf("quarantines=%d readmissions=%d, want 1 and 1 (no re-quarantine)",
+			led.Quarantines(), led.Readmissions())
+	}
+	if rep.Quarantined(2) {
+		t.Fatal("worker 2 still quarantined at the end of the run")
+	}
+}
+
 func TestReputationNoFalsePositivesWhenHonest(t *testing.T) {
 	rep := NewReputation(ReputationConfig{})
 	workers := []int{0, 1, 2, 3}

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"dlsys/internal/device"
 	"dlsys/internal/fault"
 	"dlsys/internal/obs"
+	"dlsys/internal/sim"
 	"dlsys/internal/tensor"
 )
 
@@ -62,6 +64,13 @@ type Config struct {
 	// counters) and one span per request stamped from the simulated clock.
 	// Nil disables instrumentation at near-zero cost.
 	Obs *obs.Handle
+
+	// Kernel, when non-nil, is the shared simulation kernel request
+	// arrivals are scheduled on, letting the serving fleet compose with
+	// other kernel-driven components (distributed training, scheduled
+	// fault windows) on one timeline. Nil creates a private kernel and
+	// reproduces the historical standalone behaviour bit-for-bit.
+	Kernel *sim.Kernel
 }
 
 // baseServiceS is the fastest fault-free service time among lowest-tier
@@ -206,6 +215,20 @@ type Result struct {
 	MixAccuracy float64 // accuracy of the actually-served response mix
 }
 
+// Fingerprint returns an FNV-1a hash over the full request ledger. Two
+// runs of the same seeded scenario must produce identical fingerprints;
+// composed experiments (X10) cross-check it against the metric, trace,
+// and kernel fingerprints.
+func (r Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, rec := range r.Records {
+		fmt.Fprintf(h, "%d|%.17g|%.17g|%d|%d|%d|%d|%v|%v|%v\n",
+			rec.ID, rec.ArrivalS, rec.FinishS, rec.Outcome, rec.Tier,
+			rec.Replica, rec.Attempts, rec.Hedged, rec.HedgeWon, rec.Correct)
+	}
+	return h.Sum64()
+}
+
 // replicaState is the simulator's per-replica mutable state.
 type replicaState struct {
 	busyUntilS float64
@@ -232,6 +255,8 @@ type attemptResult struct {
 type Server struct {
 	cfg     Config
 	inj     *fault.Injector
+	k       *sim.Kernel
+	actor   *sim.Actor
 	states  []*replicaState
 	byTier  [][]int // replica indices per tier, ascending id
 	minTier Tier    // best tier present in the fleet
@@ -245,6 +270,13 @@ type Server struct {
 	preds [4][]int // per-tier predictions over the eval rows
 
 	obs *serveObs
+
+	// Run-in-progress accumulation, folded request by request as arrival
+	// events execute and finalised by Result.
+	res             Result
+	correct, scored int
+	started         bool
+	finished        bool
 }
 
 // NewServer validates the config and prepares a server. The same server
@@ -257,13 +289,20 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	k := cfg.Kernel
+	if k == nil {
+		k = sim.New()
+	}
 	s := &Server{
 		cfg:    cfg,
 		inj:    fault.NewInjector(cfg.Faults),
+		k:      k,
+		actor:  k.Actor("serve"),
 		byTier: make([][]int, numTiers),
 		lat:    make([]float64, 64),
 		obs:    newServeObs(cfg.Obs),
 	}
+	s.inj.SetClock(k)
 	s.minTier = numTiers
 	for i, r := range cfg.Replicas {
 		br := NewBreaker(cfg.Breaker)
@@ -288,58 +327,101 @@ func NewServer(cfg Config) (*Server, error) {
 // Breaker exposes replica i's circuit breaker (for tests and ledgers).
 func (s *Server) Breaker(i int) *Breaker { return s.states[i].br }
 
-// Run simulates the configured request stream and returns the ledger.
+// Kernel returns the simulation kernel arrivals are scheduled on.
+func (s *Server) Kernel() *sim.Kernel { return s.k }
+
+// Run simulates the configured request stream and returns the ledger. It
+// is the standalone wrapper over the kernel-driven API: schedule the
+// arrival chain, drain the kernel, collect the result. With a shared
+// Config.Kernel, draining runs every component's pending events, so
+// composed experiments use Start/Result directly instead.
 func (s *Server) Run() Result {
-	res := Result{}
-	now := 0.0
+	s.Start()
+	s.k.Run()
+	return s.Result()
+}
+
+// Start schedules the request stream on the kernel: the first arrival is
+// drawn from the stream's deterministic gap sequence, and each arrival
+// event schedules its successor, so the whole stream interleaves with any
+// other work sharing the kernel. Arrival gaps are resolved against the
+// fault schedule at the previous arrival's instant — a flash-crowd window
+// compresses exactly the gaps that fall inside it.
+func (s *Server) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.cfg.Requests == 0 {
+		return
+	}
+	t0 := s.k.Now()
 	mean := 1 / s.cfg.ArrivalRate
-	correct, scored := 0, 0
-	for i := 0; i < s.cfg.Requests; i++ {
-		now += s.inj.Exp(fault.KindArrival, 0, i, 0, mean)
-		rec := s.serveOne(i, now)
+	s.actor.At(t0+s.inj.ArrivalGapAt(0, mean, t0), s.onArrival(0))
+}
+
+// onArrival builds the arrival event for request i: serve it at its
+// stamped arrival instant, fold the record into the running result, and
+// schedule the next arrival.
+func (s *Server) onArrival(i int) func(stamp float64) {
+	return func(stamp float64) {
+		rec := s.serveOne(i, stamp)
 		s.obs.record(&rec)
-		res.Records = append(res.Records, rec)
+		s.res.Records = append(s.res.Records, rec)
 		switch rec.Outcome {
 		case Served:
-			res.Served++
-			res.TierCounts[rec.Tier]++
+			s.res.Served++
+			s.res.TierCounts[rec.Tier]++
 			if s.cfg.EvalX != nil {
-				scored++
+				s.scored++
 				if rec.Correct {
-					correct++
+					s.correct++
 				}
 			}
 		case Shed:
-			res.Shed++
+			s.res.Shed++
 		case Failed:
-			res.Failed++
+			s.res.Failed++
 		}
 		if rec.Hedged {
-			res.HedgesLaunched++
+			s.res.HedgesLaunched++
 		}
 		if rec.HedgeWon {
-			res.HedgeWins++
+			s.res.HedgeWins++
+		}
+		if next := i + 1; next < s.cfg.Requests {
+			mean := 1 / s.cfg.ArrivalRate
+			s.actor.At(stamp+s.inj.ArrivalGapAt(next, mean, stamp), s.onArrival(next))
 		}
 	}
+}
+
+// Result finalises and returns the run summary. Call it after the kernel
+// has drained the arrival chain; calling again returns the same result.
+func (s *Server) Result() Result {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
 	total := float64(s.cfg.Requests)
-	res.Availability = float64(res.Served) / total
-	res.ShedRate = float64(res.Shed) / total
+	s.res.Availability = float64(s.res.Served) / total
+	s.res.ShedRate = float64(s.res.Shed) / total
 	var lats []float64
-	for _, r := range res.Records {
+	for _, r := range s.res.Records {
 		if r.Outcome == Served {
 			lats = append(lats, r.LatencyS)
 		}
 	}
-	res.P50S = quantile(lats, 0.5)
-	res.P99S = quantile(lats, 0.99)
+	s.res.P50S = quantile(lats, 0.5)
+	s.res.P99S = quantile(lats, 0.99)
 	for _, st := range s.states {
-		res.BreakerOpened += st.br.Opened()
-		res.BreakerReclosed += st.br.Reclosed()
+		s.res.BreakerOpened += st.br.Opened()
+		s.res.BreakerReclosed += st.br.Reclosed()
 	}
-	if scored > 0 {
-		res.MixAccuracy = float64(correct) / float64(scored)
+	if s.scored > 0 {
+		s.res.MixAccuracy = float64(s.correct) / float64(s.scored)
 	}
-	return res
+	return s.res
 }
 
 // serveOne walks one request through admission, attempts, retries, and
@@ -441,17 +523,22 @@ func (s *Server) dispatch(id, attempt int, now, deadline float64, exclude int, o
 	}
 
 	// Draw this attempt's faults from independent per-(replica, request,
-	// attempt) hash streams.
-	crashed := s.inj.Chance(fault.KindCrash, ri, id, attempt, s.cfg.Faults.CrashProb)
+	// attempt) hash streams, resolved against the fault schedule at the
+	// attempt's own simulated instant (requests carry absolute times, so
+	// a crash window hits exactly the attempts dispatched inside it).
+	crashed := s.inj.ChanceAt(fault.KindCrash, ri, id, attempt, s.cfg.Faults.CrashProb, now)
 	factor := 1.0
-	if s.inj.Chance(fault.KindStraggle, ri, id, attempt, s.cfg.Faults.StragglerProb) {
+	if s.inj.ChanceAt(fault.KindStraggle, ri, id, attempt, s.cfg.Faults.StragglerProb, now) {
 		factor = s.cfg.Faults.StragglerFactor
+		if wf := s.inj.FactorAt(fault.KindStraggle, ri, now); wf > 1 {
+			factor = wf
+		}
 		if factor <= 1 {
 			factor = 8
 		}
 	}
-	dropped := s.inj.Chance(fault.KindDrop, ri, id, attempt, s.cfg.Faults.DropProb)
-	corrupted := s.inj.Chance(fault.KindCorrupt, ri, id, attempt, s.cfg.Faults.CorruptProb)
+	dropped := s.inj.ChanceAt(fault.KindDrop, ri, id, attempt, s.cfg.Faults.DropProb, now)
+	corrupted := s.inj.ChanceAt(fault.KindCorrupt, ri, id, attempt, s.cfg.Faults.CorruptProb, now)
 
 	work := service * factor
 	switch {
