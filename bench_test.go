@@ -85,7 +85,7 @@ func BenchmarkA7(b *testing.B) { benchExperiment(b, "A7") }
 func BenchmarkA8(b *testing.B) { benchExperiment(b, "A8") }
 func BenchmarkA9(b *testing.B) { benchExperiment(b, "A9") }
 
-// Extensions X1..X10 — cited systems beyond the explicit claims.
+// Extensions X1..X11 — cited systems beyond the explicit claims.
 func BenchmarkX1(b *testing.B)  { benchExperiment(b, "X1") }
 func BenchmarkX2(b *testing.B)  { benchExperiment(b, "X2") }
 func BenchmarkX3(b *testing.B)  { benchExperiment(b, "X3") }
@@ -96,6 +96,7 @@ func BenchmarkX7(b *testing.B)  { benchExperiment(b, "X7") }
 func BenchmarkX8(b *testing.B)  { benchExperiment(b, "X8") }
 func BenchmarkX9(b *testing.B)  { benchExperiment(b, "X9") }
 func BenchmarkX10(b *testing.B) { benchExperiment(b, "X10") }
+func BenchmarkX11(b *testing.B) { benchExperiment(b, "X11") }
 
 // ---- micro-benchmarks for the hot paths underlying the experiments ----
 
@@ -157,7 +158,7 @@ func BenchmarkBTreeLookup(b *testing.B) {
 func BenchmarkRMILookup(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
-	idx := learned.BuildRMI(keys, 512)
+	idx := must(learned.BuildRMI(keys, 512))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx.Lookup(keys, keys[i%len(keys)])
@@ -193,8 +194,8 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 // Sanity checks that the facade works; keeps the root package tested, not
 // only benchmarked.
 func TestFacade(t *testing.T) {
-	if got := len(Experiments()); got != 51 {
-		t.Fatalf("Experiments() returned %d, want 51 (32 claims + 9 ablations + 10 extensions)", got)
+	if got := len(Experiments()); got != 52 {
+		t.Fatalf("Experiments() returned %d, want 52 (32 claims + 9 ablations + 11 extensions)", got)
 	}
 	if got := len(Techniques()); got < 30 {
 		t.Fatalf("Techniques() returned %d, want >=30", got)

@@ -2,11 +2,13 @@
 //
 // Usage:
 //
-//	dlsys list                 # list all experiments with their claims
-//	dlsys techniques           # print the tradeoff framework
-//	dlsys run E13 [-full]      # run one experiment (E1..E32, A1..A9, X1..X10)
-//	dlsys run all [-full]      # run every experiment in order
-//	dlsys bench [-full] [-o f] # time the X10 chaos day, emit a JSON perf sample
+//	dlsys list                       # list all experiments with their claims
+//	dlsys techniques                 # print the tradeoff framework
+//	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X11)
+//	dlsys run all [-full]            # run every experiment in order
+//	dlsys bench [x10|x11] [-full] [-o f]
+//	                                 # time the X10 chaos day or the X11 live-index
+//	                                 # cell, emit a JSON perf sample
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X10|all> [-full] | dlsys bench [-full] [-o file] [-pr n] [-date d]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X11|all> [-full] | dlsys bench [x10|x11] [-full] [-o file] [-pr n] [-date d]")
 }
 
 func list() {
@@ -88,9 +90,15 @@ func run(args []string) {
 	}
 }
 
-// bench times one composed production-day simulation (the X10 scenario)
-// and emits a JSON perf sample — the per-PR trajectory point CI records.
+// bench times one composed simulation — the X10 production day (default)
+// or the hardest X11 live-index cell — and emits a JSON perf sample, the
+// per-PR trajectory point CI records (BENCH_X10.json / BENCH_X11.json).
 func bench(args []string) {
+	target := "x10"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		target = args[0]
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	full := fs.Bool("full", false, "run at full (documented) problem sizes")
 	out := fs.String("o", "", "write the JSON sample to this file instead of stdout")
@@ -98,16 +106,36 @@ func bench(args []string) {
 	date := fs.String("date", "", "date to stamp into the sample (empty = omit)")
 	fs.Parse(args)
 
-	perf, err := dlsys.BenchmarkChaosDay(*full)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	rec := struct {
+	type stamp struct {
 		PR   int    `json:"pr,omitempty"`
 		Date string `json:"date,omitempty"`
-		dlsys.ChaosDayPerf
-	}{*pr, *date, perf}
+	}
+	var rec any
+	switch target {
+	case "x10":
+		perf, err := dlsys.BenchmarkChaosDay(*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec = struct {
+			stamp
+			dlsys.ChaosDayPerf
+		}{stamp{*pr, *date}, perf}
+	case "x11":
+		perf, err := dlsys.BenchmarkLiveIndex(*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec = struct {
+			stamp
+			dlsys.LiveIndexPerf
+		}{stamp{*pr, *date}, perf}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11)\n", target)
+		os.Exit(2)
+	}
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

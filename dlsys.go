@@ -37,8 +37,8 @@
 //
 // The tutorial publishes no tables or figures; its claims are reproduced
 // as 32 registered experiments (E1-E32), each regenerating a results
-// table, plus nine design-choice ablations (A1-A9) and ten extension
-// studies of cited systems (X1-X10). This package is the facade: list
+// table, plus nine design-choice ablations (A1-A9) and eleven extension
+// studies of cited systems (X1-X11). This package is the facade: list
 // experiments, run them, and render their tables. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for expected-vs-measured shapes.
 package dlsys
@@ -70,7 +70,7 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X10: cited systems implemented
+// ExtensionExperiments returns only X1..X11: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
@@ -84,14 +84,30 @@ func Techniques() []Technique { return core.Techniques() }
 type ChaosDayPerf = core.ChaosDayPerf
 
 // BenchmarkChaosDay times one composed production-day simulation (the X10
-// scenario: training + serving on one kernel under scheduled chaos) and
-// returns the perf-trajectory sample CI records per PR.
+// scenario: training + serving + live index on one kernel under scheduled
+// chaos) and returns the perf-trajectory sample CI records per PR.
 func BenchmarkChaosDay(full bool) (ChaosDayPerf, error) {
 	scale := core.Quick
 	if full {
 		scale = core.Full
 	}
 	return core.ChaosDayBenchmark(scale)
+}
+
+// LiveIndexPerf is the X11 online index-maintenance throughput sample
+// (re-exported from core): wall time, query throughput, and the
+// maintenance outcome of the hardest drift × fault cell.
+type LiveIndexPerf = core.LiveIndexPerf
+
+// BenchmarkLiveIndex times the hardest X11 cell (flash drift × bursty
+// corrupted inserts) and returns the perf-trajectory sample CI records per
+// PR (BENCH_X11.json).
+func BenchmarkLiveIndex(full bool) (LiveIndexPerf, error) {
+	scale := core.Quick
+	if full {
+		scale = core.Full
+	}
+	return core.LiveIndexBenchmark(scale)
 }
 
 // PipelineSpec declares a train/compress/deploy pipeline (re-exported from
@@ -110,13 +126,13 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 	return pipeline.Compare(specs...)
 }
 
-// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X10").
+// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X11").
 // With full set, problem sizes match the documented tables; otherwise a
 // quick scale keeps runs in the low seconds.
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X10)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X11)", id)
 	}
 	scale := core.Quick
 	if full {

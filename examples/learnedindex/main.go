@@ -22,7 +22,10 @@ func main() {
 			panic(err)
 		}
 		bt := db.BulkLoadBTree(keys)
-		rmi := learned.BuildRMI(keys, 1024)
+		rmi, err := learned.BuildRMI(keys, 1024)
+		if err != nil {
+			panic(err)
+		}
 
 		probe := make([]uint64, 10000)
 		for i := range probe {

@@ -167,7 +167,10 @@ func runA4(scale Scale) *Table {
 	t := &Table{ID: "A4", Title: "RMI leaves", Claim: "leaves trade memory for window size",
 		Columns: []string{"leaves", "memory_bytes", "max_window", "all_found"}}
 	for _, leaves := range []int{8, 64, 512, 4096} {
-		idx := learned.BuildRMI(keys, leaves)
+		idx, err := learned.BuildRMI(keys, leaves)
+		if err != nil {
+			panic(err) // keys generated non-empty, leaves positive
+		}
 		found := true
 		for i := 0; i < len(keys); i += 997 {
 			if _, ok := idx.Lookup(keys, keys[i]); !ok {

@@ -11,6 +11,8 @@ import (
 	"dlsys/internal/distributed"
 	"dlsys/internal/fault"
 	"dlsys/internal/guard"
+	"dlsys/internal/learned"
+	"dlsys/internal/livedb"
 	"dlsys/internal/nn"
 	"dlsys/internal/obs"
 	"dlsys/internal/robust"
@@ -19,24 +21,28 @@ import (
 )
 
 // X10 composes the whole stack into one "day in production": a guarded,
-// Byzantine-robust distributed training job and a multi-tier serving fleet
-// share a single discrete-event kernel, while a declarative fault schedule
-// walks the day through scheduled crashes, a straggler window, a flash
-// crowd on the serving side, an open-ended Byzantine coalition, and a
-// numerical-fault burst. Four global invariants are checked across the
-// composed system: (1) serving availability stays above a floor for the
-// whole day; (2) training does not silently diverge — the final held-out
-// loss stays within a small factor of the fault-free baseline, and every
-// guard/quarantine incident reconciles with a scheduled fault; (3) the
-// shared metric registry reconciles EXACTLY with both subsystems' own
-// ledgers; (4) the full day — metrics, traces, request ledger, quarantine
-// ledger, and the kernel's event log — replays bit-identically.
+// Byzantine-robust distributed training job, a multi-tier serving fleet,
+// and an online learned-index maintenance engine share a single
+// discrete-event kernel, while a declarative fault schedule walks the day
+// through scheduled crashes, a straggler window, a flash crowd on the
+// serving side, an open-ended Byzantine coalition, a numerical-fault
+// burst, and a corrupted-insert burst against the live index. Five global
+// invariants are checked across the composed system: (1) serving
+// availability stays above a floor for the whole day; (2) training does
+// not silently diverge — the final held-out loss stays within a small
+// factor of the fault-free baseline, and every guard/quarantine incident
+// reconciles with a scheduled fault; (3) the shared metric registry
+// reconciles EXACTLY with all three subsystems' own ledgers; (4) the full
+// day — metrics, traces, request ledger, quarantine ledger, index ledger,
+// and the kernel's event log — replays bit-identically; (5) the live
+// index keeps 100% query availability down its fallback ladder while
+// rolling back the corrupted burst and re-validating a retrained index.
 
 func init() {
 	register(Experiment{
 		ID: "X10", Section: "3",
-		Title: "A day in production: composed training + serving under scheduled chaos",
-		Claim: "Training and serving composed on one simulation kernel survive a scheduled day of crashes, stragglers, a flash crowd, a Byzantine coalition, and a numerical-fault burst: availability holds a floor, training does not silently diverge, every counter reconciles exactly with the subsystem ledgers, and the whole day replays bit-identically",
+		Title: "A day in production: composed training + serving + live index under scheduled chaos",
+		Claim: "Training, serving, and online index maintenance composed on one simulation kernel survive a scheduled day of crashes, stragglers, a flash crowd, a Byzantine coalition, a numerical-fault burst, and a corrupted-insert burst: availability holds a floor, training does not silently diverge, the index rides its fallback ladder without dropping a query, every counter reconciles exactly with the subsystem ledgers, and the whole day replays bit-identically",
 		Run:   runX10,
 	})
 }
@@ -59,10 +65,13 @@ type chaosDay struct {
 	res   serve.Result
 	loss  float64 // held-out loss of the final consensus model
 
+	dbStats livedb.Stats
+	dbWl    livedb.WorkloadStats
+
 	processed int
 	actors    []string
 
-	regFP, traceFP, serveFP, repFP, kernelFP uint64
+	regFP, traceFP, serveFP, repFP, kernelFP, dbFP uint64
 
 	reconciled bool
 	detail     string
@@ -150,6 +159,39 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 		{Kind: fault.KindStraggle, StartS: 0.55 * day, EndS: 0.70 * day, Prob: 0.3, Factor: 6},
 	}}
 
+	// The live learned index shares the same day: its maintenance cadence
+	// scales with the probe duration so retrains, rollbacks, and the swap
+	// all land inside the run, and its corrupted-insert burst sits in the
+	// early afternoon between the flash crowd and the straggler weather.
+	idxOps := 600
+	if scale == Full {
+		idxOps = 1800
+	}
+	idxKeys := learned.ClusteredKeys(rand.New(rand.NewSource(220)), 4*n, 4, 1<<44)
+	idxCfg := livedb.Config{
+		Seed:          221,
+		MaintainEvery: day / 60,
+		RetrainS:      day / 24,
+		CooldownS:     day / 40,
+	}
+	idxWl := livedb.WorkloadConfig{
+		Seed:         222,
+		Ops:          idxOps,
+		Rate:         float64(idxOps) / day,
+		ClusterWidth: 1 << 38,
+		Space:        idxKeys[len(idxKeys)-1],
+		Phases: []livedb.Phase{
+			{StartS: 0},
+			// Afternoon drift: inserts and hard-negative lookups move to a
+			// fresh cluster the initial index never saw.
+			{StartS: 0.45 * day, Clusters: []uint64{9 << 40}, HardNegFrac: 0.4},
+		},
+		Faults: fault.Config{Seed: 223, Schedule: []fault.Window{
+			// Early afternoon: a corrupted-insert burst against the index.
+			{Kind: fault.KindCorrupt, StartS: 0.40 * day, EndS: 0.60 * day, Prob: 0.25},
+		}},
+	}
+
 	run := func(h *obs.Handle) (*chaosDay, error) {
 		k := sim.New()
 
@@ -179,10 +221,24 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			return nil, err
 		}
 
-		// Both subsystems schedule their first event at t=0, then the
+		ecfg := idxCfg
+		ecfg.Kernel = k
+		ecfg.Obs = h
+		eng, err := livedb.NewEngine(idxKeys, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := livedb.NewWorkload(eng, idxKeys, idxWl)
+		if err != nil {
+			return nil, err
+		}
+
+		// All three subsystems schedule their first event at t=0, then the
 		// kernel interleaves the whole day deterministically.
 		job.Start()
 		srv.Start()
+		eng.Start()
+		wl.Start()
 		k.Run()
 
 		net, stats, err := job.Result()
@@ -195,10 +251,13 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			stats:     stats,
 			res:       res,
 			loss:      heldOut(net),
+			dbStats:   eng.Stats(),
+			dbWl:      wl.Stats(),
 			processed: k.Processed(),
 			actors:    k.Actors(),
 			serveFP:   res.Fingerprint(),
 			kernelFP:  k.Fingerprint(),
+			dbFP:      eng.Ledger().Fingerprint(),
 		}
 		if stats.Quarantine != nil {
 			d.repFP = stats.Quarantine.Fingerprint()
@@ -211,8 +270,8 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 		d.traceFP = h.Tracer.Fingerprint()
 
 		// Invariant 3: every counter on the SHARED registry reconciles
-		// exactly with the subsystem's own ledger — both subsystems wrote
-		// into one handle for the whole day.
+		// exactly with the subsystem's own ledger — all three subsystems
+		// wrote into one handle for the whole day.
 		r := &reconciler{h: h}
 		r.eq("distributed.retransmissions", int64(stats.Retransmissions))
 		r.eq("distributed.dropped_messages", int64(stats.DroppedMessages))
@@ -253,6 +312,22 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			r.check(hist.Sum() == want,
 				fmt.Sprintf("tier %s latency sum %g want %g", tier, hist.Sum(), want))
 		}
+		st, led := d.dbStats, eng.Ledger()
+		r.eq("livedb.lookups", int64(st.Lookups))
+		r.eq("livedb.range_scans", int64(st.RangeScans))
+		r.eq("livedb.inserts", int64(st.Stored))
+		r.eq("livedb.duplicates", int64(st.Duplicates))
+		r.eq("livedb.retrains", int64(st.Retrains))
+		r.eq("livedb.swaps", int64(st.Swaps))
+		r.eq("livedb.rollbacks", int64(st.Rollbacks))
+		r.eq("livedb.quarantined", int64(st.Quarantined))
+		for tier := livedb.TierLearned; int(tier) < livedb.NumTiers; tier++ {
+			r.eq("livedb.tier."+tier.String()+".served", int64(st.TierServed[tier]))
+		}
+		r.check(led.Count(livedb.EvRetrainStart) == st.Retrains, "index ledger retrains != stats")
+		r.check(led.Count(livedb.EvSwap) == st.Swaps, "index ledger swaps != stats")
+		r.check(led.Count(livedb.EvRollback) == st.Rollbacks, "index ledger rollbacks != stats")
+		r.check(led.SumN(livedb.EvRollback) == st.Quarantined, "index ledger quarantined != stats")
 		r.check(h.Tracer.Len() > 0, "no spans recorded")
 		d.reconciled, d.detail = r.result()
 		return d, nil
@@ -284,7 +359,7 @@ func offendersWithin(led *robust.Ledger, coalition ...int) bool {
 
 func runX10(scale Scale) *Table {
 	t := &Table{ID: "X10", Title: "A day in production",
-		Claim:   "composed training + serving on one kernel survive scheduled chaos: availability floor holds, no silent training divergence, exact cross-subsystem reconciliation, bit-identical replay",
+		Claim:   "composed training + serving + live index on one kernel survive scheduled chaos: availability floor holds, no silent training divergence, the index ladder never drops a query, exact cross-subsystem reconciliation, bit-identical replay",
 		Columns: []string{"check", "detail", "ok"}}
 
 	sc, err := newX10Scenario(scale)
@@ -307,7 +382,7 @@ func runX10(scale Scale) *Table {
 	t.AddRow("timeline",
 		fmt.Sprintf("day=%.4gs sim=%.4gs events=%d actors=%v",
 			sc.dayS, d1.stats.SimSeconds, d1.processed, d1.actors),
-		yesNo(d1.processed > 0 && len(d1.actors) == 2))
+		yesNo(d1.processed > 0 && len(d1.actors) == 4))
 
 	t.AddRow("chaos-observed",
 		fmt.Sprintf("crashes=%d straggler_rounds=%d byzantine=%d numerical=%d guard_skipped=%d quarantines=%d offenders=%s",
@@ -350,13 +425,35 @@ func runX10(scale Scale) *Table {
 	t.AddRow("invariant-3-reconcile", detail, yesNo(d1.reconciled && d2.reconciled))
 
 	replay := d1.regFP == d2.regFP && d1.traceFP == d2.traceFP &&
-		d1.serveFP == d2.serveFP && d1.repFP == d2.repFP && d1.kernelFP == d2.kernelFP
+		d1.serveFP == d2.serveFP && d1.repFP == d2.repFP &&
+		d1.kernelFP == d2.kernelFP && d1.dbFP == d2.dbFP
 	t.AddRow("invariant-4-replay",
-		fmt.Sprintf("reg=%016x trace=%016x ledger=%016x quarantine=%016x kernel=%016x",
-			d1.regFP, d1.traceFP, d1.serveFP, d1.repFP, d1.kernelFP),
+		fmt.Sprintf("reg=%016x trace=%016x ledger=%016x quarantine=%016x kernel=%016x index=%016x",
+			d1.regFP, d1.traceFP, d1.serveFP, d1.repFP, d1.kernelFP, d1.dbFP),
 		yesNo(replay))
 
-	t.Shape = "one shared kernel drives both subsystems through the scheduled day; availability holds the floor, training stays near the fault-free loss with guard and quarantine incidents matching the schedule, all counters reconcile exactly, and every fingerprint replays bit-identically"
+	// Invariant 5: the live index never dropped a query — every lookup and
+	// range scan was answered by exactly one ladder tier and agreed with
+	// the client-side oracle of acked writes — while the corrupted burst
+	// forced at least one rollback that quarantined exactly the injected
+	// keys, a later retrain re-validated and swapped, and no validated
+	// index was ever probed past its declared search window.
+	dbOK := d1.dbStats.ServedTotal() == d1.dbStats.Queries() &&
+		d1.dbWl.Mismatches == 0 &&
+		d1.dbWl.CorruptedSent > 0 &&
+		d1.dbStats.Quarantined == d1.dbWl.CorruptedSent &&
+		d1.dbStats.Rollbacks > 0 && d1.dbStats.Swaps > 0 &&
+		d1.dbStats.WindowViolations == 0
+	t.AddRow("invariant-5-index",
+		fmt.Sprintf("queries=%d mismatches=%d retrains=%d swaps=%d rollbacks=%d quarantined=%d corrupted=%d learned=%d delta=%d btree=%d scan=%d",
+			d1.dbStats.Queries(), d1.dbWl.Mismatches, d1.dbStats.Retrains,
+			d1.dbStats.Swaps, d1.dbStats.Rollbacks, d1.dbStats.Quarantined,
+			d1.dbWl.CorruptedSent,
+			d1.dbStats.TierServed[livedb.TierLearned], d1.dbStats.TierServed[livedb.TierDelta],
+			d1.dbStats.TierServed[livedb.TierBTree], d1.dbStats.TierServed[livedb.TierScan]),
+		yesNo(dbOK))
+
+	t.Shape = "one shared kernel drives all three subsystems through the scheduled day; availability holds the floor, training stays near the fault-free loss with guard and quarantine incidents matching the schedule, the live index rides its fallback ladder through the corrupted burst without dropping a query, all counters reconcile exactly, and every fingerprint replays bit-identically"
 	return t
 }
 

@@ -76,7 +76,10 @@ func runE13(scale Scale) *Table {
 			panic(err) // dist ranges over the supported set
 		}
 		bt := db.BulkLoadBTree(keys)
-		rmi := learned.BuildRMI(keys, 512)
+		rmi, err := learned.BuildRMI(keys, 512)
+		if err != nil {
+			panic(err) // keys generated non-empty, leaves positive
+		}
 		found := true
 		for i := 0; i < len(keys); i += 97 {
 			if pos, ok := rmi.Lookup(keys, keys[i]); !ok || pos != i {

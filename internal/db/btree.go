@@ -164,6 +164,15 @@ func (n *btreeNode) rangeScan(lo, hi uint64, fn func(uint64, int) bool) bool {
 	}
 }
 
+// RangeCount returns how many keys lie in [lo, hi] — the aggregate form of
+// RangeScan that index-maintenance monitoring wants without paying for a
+// callback per key.
+func (t *BTree) RangeCount(lo, hi uint64) int {
+	n := 0
+	t.RangeScan(lo, hi, func(uint64, int) bool { n++; return true })
+	return n
+}
+
 // MemoryBytes estimates the tree's resident size: keys (8 B), values (8 B
 // at leaves), child pointers (8 B), and a per-node header.
 func (t *BTree) MemoryBytes() int64 {

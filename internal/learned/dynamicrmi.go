@@ -18,15 +18,22 @@ type DynamicRMI struct {
 	rebuilds        int
 }
 
-// NewDynamicRMI builds a dynamic index over the initial sorted keys.
-func NewDynamicRMI(keys []uint64, leaves int) *DynamicRMI {
+// NewDynamicRMI builds a dynamic index over the initial sorted keys. A typed
+// *ArgError rejects an empty key set or a non-positive leaf count, mirroring
+// BuildRMI's validation.
+func NewDynamicRMI(keys []uint64, leaves int) (*DynamicRMI, error) {
 	owned := append([]uint64(nil), keys...)
+	rmi, err := BuildRMI(owned, leaves)
+	if err != nil {
+		argErr := err.(*ArgError)
+		return nil, &ArgError{Fn: "NewDynamicRMI", Reason: argErr.Reason}
+	}
 	return &DynamicRMI{
 		keys:            owned,
-		rmi:             BuildRMI(owned, leaves),
+		rmi:             rmi,
 		RebuildFraction: 0.1,
 		leaves:          leaves,
-	}
+	}, nil
 }
 
 // Len returns the number of indexed keys (including buffered inserts).
@@ -44,7 +51,10 @@ func (d *DynamicRMI) Insert(key uint64) {
 	d.delta = append(d.delta, 0)
 	copy(d.delta[i+1:], d.delta[i:])
 	d.delta[i] = key
-	if float64(len(d.delta)) > d.RebuildFraction*float64(len(d.keys))+1 {
+	// >= makes the threshold itself trigger: with 100 keys at fraction 0.1
+	// the 11th buffered insert (10+1) rebuilds, not the 12th. The +1 floor
+	// keeps tiny key sets from rebuilding on every single insert.
+	if float64(len(d.delta)) >= d.RebuildFraction*float64(len(d.keys))+1 {
 		d.rebuild()
 	}
 }
@@ -66,7 +76,13 @@ func (d *DynamicRMI) rebuild() {
 	merged = append(merged, d.delta[j:]...)
 	d.keys = merged
 	d.delta = d.delta[:0]
-	d.rmi = BuildRMI(d.keys, d.leaves)
+	rmi, err := BuildRMI(d.keys, d.leaves)
+	if err != nil {
+		// Unreachable: the constructor validated keys and leaves, and a merge
+		// only ever grows the key set.
+		panic("learned: DynamicRMI.rebuild: " + err.Error())
+	}
+	d.rmi = rmi
 	d.rebuilds++
 }
 

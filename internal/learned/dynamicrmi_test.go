@@ -12,7 +12,7 @@ import (
 func TestDynamicRMIInsertAndContains(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	keys := must(data.GenerateKeys(rng, data.Uniform, 5000))
-	d := NewDynamicRMI(keys, 64)
+	d := must(NewDynamicRMI(keys, 64))
 	// All original keys present.
 	for i := 0; i < len(keys); i += 37 {
 		if !d.Contains(keys[i]) {
@@ -50,7 +50,7 @@ func countDistinct(keys []uint64) int {
 }
 
 func TestDynamicRMIDuplicateInsertIgnored(t *testing.T) {
-	d := NewDynamicRMI([]uint64{10, 20, 30}, 2)
+	d := must(NewDynamicRMI([]uint64{10, 20, 30}, 2))
 	d.Insert(20)
 	d.Insert(25)
 	d.Insert(25)
@@ -62,7 +62,7 @@ func TestDynamicRMIDuplicateInsertIgnored(t *testing.T) {
 func TestDynamicRMIRankMatchesOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	keys := must(data.GenerateKeys(rng, data.ZipfGaps, 3000))
-	d := NewDynamicRMI(keys, 32)
+	d := must(NewDynamicRMI(keys, 32))
 	inserted := data.NegativeKeys(rng, keys, 500)
 	all := append(append([]uint64(nil), keys...), inserted...)
 	for _, k := range inserted {
@@ -83,7 +83,7 @@ func TestDynamicRMIRankMatchesOracle(t *testing.T) {
 func TestDynamicRMIOracleQuick(t *testing.T) {
 	f := func(raw []uint16) bool {
 		base := []uint64{100, 200, 300, 400, 500}
-		d := NewDynamicRMI(base, 2)
+		d := must(NewDynamicRMI(base, 2))
 		oracle := map[uint64]bool{100: true, 200: true, 300: true, 400: true, 500: true}
 		for _, r := range raw {
 			k := uint64(r)
@@ -114,7 +114,7 @@ func TestDynamicRMIOracleQuick(t *testing.T) {
 func TestDynamicRMIMemoryStaysSmall(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	keys := must(data.GenerateKeys(rng, data.Uniform, 20000))
-	d := NewDynamicRMI(keys, 128)
+	d := must(NewDynamicRMI(keys, 128))
 	for _, k := range data.NegativeKeys(rng, keys, 5000) {
 		d.Insert(k)
 	}

@@ -1,0 +1,14 @@
+package learned
+
+// ArgError is the typed error learned-component constructors return for
+// invalid arguments — empty key sets, non-positive leaf counts, malformed
+// coefficient vectors. It mirrors db.ArgError so callers across the
+// learned/classical boundary handle both the same way.
+type ArgError struct {
+	Fn     string // the constructor or method that rejected its input
+	Reason string
+}
+
+func (e *ArgError) Error() string {
+	return "learned: " + e.Fn + ": " + e.Reason
+}

@@ -22,7 +22,7 @@ func TestRMIFindsEveryKey(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, dist := range []data.KeyDistribution{data.Uniform, data.ZipfGaps, data.Lognormal} {
 		keys := must(data.GenerateKeys(rng, dist, 20000))
-		idx := BuildRMI(keys, 128)
+		idx := must(BuildRMI(keys, 128))
 		for i, k := range keys {
 			pos, ok := idx.Lookup(keys, k)
 			if !ok || pos != i {
@@ -36,7 +36,7 @@ func TestRMIAbsentKeys(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	keys := must(data.GenerateKeys(rng, data.Uniform, 10000))
 	for _, k := range data.NegativeKeys(rng, keys, 2000) {
-		if _, ok := BuildRMI(keys, 64).Lookup(keys, k); ok {
+		if _, ok := must(BuildRMI(keys, 64)).Lookup(keys, k); ok {
 			t.Fatalf("found absent key %d", k)
 		}
 	}
@@ -45,7 +45,7 @@ func TestRMIAbsentKeys(t *testing.T) {
 func TestRMISmallerThanBTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	keys := must(data.GenerateKeys(rng, data.Uniform, 100000))
-	idx := BuildRMI(keys, 256)
+	idx := must(BuildRMI(keys, 256))
 	bt := db.BulkLoadBTree(keys)
 	if idx.MemoryBytes()*10 >= bt.MemoryBytes() {
 		t.Fatalf("RMI %d B should be >=10x smaller than B-tree %d B", idx.MemoryBytes(), bt.MemoryBytes())
@@ -55,8 +55,8 @@ func TestRMISmallerThanBTree(t *testing.T) {
 func TestRMIMoreLeavesSmallerWindows(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	keys := must(data.GenerateKeys(rng, data.Lognormal, 50000))
-	coarse := BuildRMI(keys, 16)
-	fine := BuildRMI(keys, 1024)
+	coarse := must(BuildRMI(keys, 16))
+	fine := must(BuildRMI(keys, 1024))
 	if fine.MaxSearchWindow() >= coarse.MaxSearchWindow() {
 		t.Fatalf("finer RMI window %d should beat coarse %d",
 			fine.MaxSearchWindow(), coarse.MaxSearchWindow())

@@ -62,10 +62,14 @@ type rmiLeaf struct {
 }
 
 // BuildRMI fits the index over sorted keys with the given number of
-// second-level models.
-func BuildRMI(keys []uint64, numLeaves int) *RMI {
-	if len(keys) == 0 || numLeaves < 1 {
-		panic("learned: BuildRMI needs keys and at least one leaf")
+// second-level models. A typed *ArgError rejects an empty key set or a
+// non-positive leaf count.
+func BuildRMI(keys []uint64, numLeaves int) (*RMI, error) {
+	if len(keys) == 0 {
+		return nil, &ArgError{Fn: "BuildRMI", Reason: "empty key set"}
+	}
+	if numLeaves < 1 {
+		return nil, &ArgError{Fn: "BuildRMI", Reason: "needs at least one leaf"}
 	}
 	n := len(keys)
 	// Root model maps key → leaf index; fit on (key, leaf) pairs where the
@@ -109,7 +113,7 @@ func BuildRMI(keys []uint64, numLeaves int) *RMI {
 		}
 		r.leaves[l] = leaf
 	}
-	return r
+	return r, nil
 }
 
 func (r *RMI) route(key float64) int {
@@ -133,16 +137,29 @@ func (r *RMI) route(key float64) int {
 // A damaged learned index therefore loses only its speedup, never its
 // correctness.
 func (r *RMI) Lookup(keys []uint64, key uint64) (int, bool) {
+	pos, ok, _, _ := r.Probe(keys, key)
+	return pos, ok
+}
+
+// Probe is Lookup instrumented for live index-health monitoring: it
+// additionally reports the width of the window that was binary-searched and
+// whether the index degraded to the corruption-fallback full search. An
+// online maintenance layer uses the window stream to detect model drift
+// (growing windows) and the degraded flag to detect outright corruption.
+func (r *RMI) Probe(keys []uint64, key uint64) (pos int, ok bool, window int, degraded bool) {
 	if !r.root.finite() {
-		return fullSearch(keys, key)
+		pos, ok = fullSearch(keys, key)
+		return pos, ok, len(keys), true
 	}
 	leaf := r.leaves[r.route(float64(key))]
 	if !leaf.model.finite() || leaf.errLo > leaf.errHi {
-		return fullSearch(keys, key)
+		pos, ok = fullSearch(keys, key)
+		return pos, ok, len(keys), true
 	}
 	p := leaf.model.predict(float64(key))
 	if math.IsNaN(p) || math.IsInf(p, 0) {
-		return fullSearch(keys, key)
+		pos, ok = fullSearch(keys, key)
+		return pos, ok, len(keys), true
 	}
 	pred := int(math.Round(p))
 	lo := pred + leaf.errLo
@@ -156,14 +173,15 @@ func (r *RMI) Lookup(keys []uint64, key uint64) (int, bool) {
 	if lo >= hi {
 		// The clamped window is empty: the model predicted far outside the
 		// array, which a healthy leaf's recorded error bounds never do.
-		return fullSearch(keys, key)
+		pos, ok = fullSearch(keys, key)
+		return pos, ok, len(keys), true
 	}
 	w := keys[lo:hi]
 	i := sort.Search(len(w), func(i int) bool { return w[i] >= key })
 	if i < len(w) && w[i] == key {
-		return lo + i, true
+		return lo + i, true, hi - lo, false
 	}
-	return 0, false
+	return 0, false, hi - lo, false
 }
 
 // fullSearch is the corruption fallback: a plain binary search over the
@@ -192,4 +210,48 @@ func (r *RMI) MaxSearchWindow() int {
 // ints of error bounds per leaf.
 func (r *RMI) MemoryBytes() int64 {
 	return 16 + int64(len(r.leaves))*(16+16)
+}
+
+// Coeffs flattens the index into a float64 vector so it can ride existing
+// checkpoint machinery (CRC'd snapshots, rollback stores). Layout:
+// [n, numLeaves, rootA, rootB, then per leaf A, B, errLo, errHi].
+// RMIFromCoeffs inverts it.
+func (r *RMI) Coeffs() []float64 {
+	c := make([]float64, 0, 4+4*len(r.leaves))
+	c = append(c, float64(r.n), float64(len(r.leaves)), r.root.A, r.root.B)
+	for _, l := range r.leaves {
+		c = append(c, l.model.A, l.model.B, float64(l.errLo), float64(l.errHi))
+	}
+	return c
+}
+
+// RMIFromCoeffs reconstructs an index from a Coeffs vector. A typed
+// *ArgError rejects a malformed vector (wrong length, non-positive header
+// fields, non-integral header) so a corrupted snapshot cannot be installed.
+func RMIFromCoeffs(c []float64) (*RMI, error) {
+	if len(c) < 4 {
+		return nil, &ArgError{Fn: "RMIFromCoeffs", Reason: "vector shorter than header"}
+	}
+	n, leaves := c[0], c[1]
+	if n != math.Trunc(n) || leaves != math.Trunc(leaves) || n < 1 || leaves < 1 {
+		return nil, &ArgError{Fn: "RMIFromCoeffs", Reason: "non-integral or non-positive header"}
+	}
+	nl := int(leaves)
+	if len(c) != 4+4*nl {
+		return nil, &ArgError{Fn: "RMIFromCoeffs", Reason: "vector length does not match leaf count"}
+	}
+	r := &RMI{
+		n:      int(n),
+		root:   linearModel{A: c[2], B: c[3]},
+		leaves: make([]rmiLeaf, nl),
+	}
+	for l := 0; l < nl; l++ {
+		o := 4 + 4*l
+		r.leaves[l] = rmiLeaf{
+			model: linearModel{A: c[o], B: c[o+1]},
+			errLo: int(c[o+2]),
+			errHi: int(c[o+3]),
+		}
+	}
+	return r, nil
 }

@@ -31,7 +31,7 @@ func TestRMILookupSurvivesCorruptedLeaves(t *testing.T) {
 	poisons := [...]float64{math.NaN(), math.Inf(1), math.Inf(-1)}
 	inj := fault.NewInjector(fault.Config{Seed: 77, CorruptProb: 0.4})
 	for round := 0; round < 3; round++ {
-		r := BuildRMI(keys, 64)
+		r := must(BuildRMI(keys, 64))
 		// Deterministically corrupt ~40% of leaves: poison the slope, the
 		// intercept, or invert the error window.
 		corrupted := 0
@@ -76,7 +76,7 @@ func TestRMILookupSurvivesCorruptedRoot(t *testing.T) {
 	for i := range keys {
 		keys[i] = uint64(i * 17)
 	}
-	r := BuildRMI(keys, 16)
+	r := must(BuildRMI(keys, 16))
 	r.root.A = math.NaN()
 	for i, k := range keys {
 		pos, ok := r.Lookup(keys, k)
@@ -91,7 +91,7 @@ func TestRMILookupSurvivesCorruptedRoot(t *testing.T) {
 
 func TestRMIFullSearchFallbackOnEmptyWindow(t *testing.T) {
 	keys := []uint64{2, 4, 6, 8, 10}
-	r := BuildRMI(keys, 2)
+	r := must(BuildRMI(keys, 2))
 	// Drive a leaf's prediction far outside the array so the clamped window
 	// is empty; the fallback must still find every key routed there.
 	for l := range r.leaves {
