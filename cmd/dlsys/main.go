@@ -4,11 +4,12 @@
 //
 //	dlsys list                       # list all experiments with their claims
 //	dlsys techniques                 # print the tradeoff framework
-//	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X11)
+//	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X12)
 //	dlsys run all [-full]            # run every experiment in order
-//	dlsys bench [x10|x11] [-full] [-o f]
-//	                                 # time the X10 chaos day or the X11 live-index
-//	                                 # cell, emit a JSON perf sample
+//	dlsys bench [x10|x11|x12] [-full] [-o f]
+//	                                 # time the X10 chaos day, the X11 live-index
+//	                                 # cell, or the X12 elastic-topology cell, and
+//	                                 # emit a JSON perf sample
 package main
 
 import (
@@ -42,7 +43,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X11|all> [-full] | dlsys bench [x10|x11] [-full] [-o file] [-pr n] [-date d]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X12|all> [-full] | dlsys bench [x10|x11|x12] [-full] [-o file] [-pr n] [-date d]")
 }
 
 func list() {
@@ -90,9 +91,10 @@ func run(args []string) {
 	}
 }
 
-// bench times one composed simulation — the X10 production day (default)
-// or the hardest X11 live-index cell — and emits a JSON perf sample, the
-// per-PR trajectory point CI records (BENCH_X10.json / BENCH_X11.json).
+// bench times one composed simulation — the X10 production day (default),
+// the hardest X11 live-index cell, or the hardest X12 elastic-topology
+// cell — and emits a JSON perf sample, the per-PR trajectory point CI
+// records (BENCH_X10.json / BENCH_X11.json / BENCH_X12.json).
 func bench(args []string) {
 	target := "x10"
 	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
@@ -132,8 +134,18 @@ func bench(args []string) {
 			stamp
 			dlsys.LiveIndexPerf
 		}{stamp{*pr, *date}, perf}
+	case "x12":
+		perf, err := dlsys.BenchmarkTopology(*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec = struct {
+			stamp
+			dlsys.TopologyPerf
+		}{stamp{*pr, *date}, perf}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11)\n", target)
+		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11, x12)\n", target)
 		os.Exit(2)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")

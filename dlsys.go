@@ -10,7 +10,10 @@
 //     TreeNets, and MotherNets (internal/ensemble); simulated distributed
 //     training with Local SGD, gradient compression, and fault tolerance —
 //     retrying transport, straggler mitigation, crash recovery from
-//     CRC-protected model snapshots — under deterministic fault injection
+//     CRC-protected model snapshots — over pluggable collective topologies
+//     (all-to-all mesh, ring all-reduce, binary tree, hierarchical) with
+//     elastic worker membership, under deterministic fault injection
+//     including per-link drops, slowdowns, and partitions
 //     (internal/distributed, internal/fault); Byzantine-robust aggregation
 //     (coordinate median, trimmed mean, Krum, norm clipping) with
 //     reputation-based quarantine of adversarial workers (internal/robust);
@@ -37,8 +40,8 @@
 //
 // The tutorial publishes no tables or figures; its claims are reproduced
 // as 32 registered experiments (E1-E32), each regenerating a results
-// table, plus nine design-choice ablations (A1-A9) and eleven extension
-// studies of cited systems (X1-X11). This package is the facade: list
+// table, plus nine design-choice ablations (A1-A9) and twelve extension
+// studies of cited systems (X1-X12). This package is the facade: list
 // experiments, run them, and render their tables. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for expected-vs-measured shapes.
 package dlsys
@@ -61,7 +64,7 @@ type Experiment = core.Experiment
 type Technique = core.Technique
 
 // Experiments returns all registered experiments: the claim reproductions
-// E1..E32, then the ablations A1..A9, then the extensions X1..X10.
+// E1..E32, then the ablations A1..A9, then the extensions X1..X12.
 func Experiments() []Experiment { return core.All() }
 
 // ClaimExperiments returns only E1..E32, the tutorial-claim reproductions.
@@ -70,7 +73,7 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X11: cited systems implemented
+// ExtensionExperiments returns only X1..X12: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
@@ -110,6 +113,23 @@ func BenchmarkLiveIndex(full bool) (LiveIndexPerf, error) {
 	return core.LiveIndexBenchmark(scale)
 }
 
+// TopologyPerf is the X12 elastic topology-aware training throughput
+// sample (re-exported from core): wall time, simulated communication
+// seconds, and the healing/churn ledger of the largest ring cell under
+// link faults plus worker churn.
+type TopologyPerf = core.TopologyPerf
+
+// BenchmarkTopology times the hardest X12 cell (largest-n ring all-reduce
+// under link faults and scheduled churn) and returns the perf-trajectory
+// sample CI records per PR (BENCH_X12.json).
+func BenchmarkTopology(full bool) (TopologyPerf, error) {
+	scale := core.Quick
+	if full {
+		scale = core.Full
+	}
+	return core.TopologyBenchmark(scale)
+}
+
 // PipelineSpec declares a train/compress/deploy pipeline (re-exported from
 // pipeline); zero-valued stages are skipped.
 type PipelineSpec = pipeline.Spec
@@ -126,13 +146,13 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 	return pipeline.Compare(specs...)
 }
 
-// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X11").
+// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X12").
 // With full set, problem sizes match the documented tables; otherwise a
 // quick scale keeps runs in the low seconds.
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X11)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X12)", id)
 	}
 	scale := core.Quick
 	if full {

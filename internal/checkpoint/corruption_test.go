@@ -32,7 +32,7 @@ func TestStoreSkipsInjectorCorruptedSnapshots(t *testing.T) {
 
 	// The two newest snapshots rot on disk: one injected bit flip each.
 	for _, idx := range []int{2, 3} {
-		snap := st.snaps[idx]
+		snap := st.at(idx)
 		inj.CorruptPayload(snap.Payload, 0, snap.Step, 0)
 		if snap.Verify() {
 			t.Fatalf("CRC missed the injected flip in snapshot %d", snap.Step)
@@ -66,7 +66,7 @@ func TestStoreAllCorruptFailsLoudly(t *testing.T) {
 	st := NewStore(3)
 	for round := 0; round < 3; round++ {
 		st.Put(TakeSnapshot(round, net))
-		inj.CorruptPayload(st.snaps[round].Payload, 0, round, 0)
+		inj.CorruptPayload(st.at(round).Payload, 0, round, 0)
 	}
 	target := nn.NewMLP(rand.New(rand.NewSource(14)), snapArch)
 	before := target.ParamVector()

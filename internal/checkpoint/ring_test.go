@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/nn"
+)
+
+// The store is a true ring: capacity never grows, the oldest snapshot is
+// displaced (payload released) as new ones arrive, and eviction is
+// accounted so experiments can report the storage a bounded ring saved.
+func TestStoreRingEviction(t *testing.T) {
+	st := NewStore(3)
+	if st.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", st.Cap())
+	}
+	var totalBytes int64
+	for step := 1; step <= 10; step++ {
+		snap := SnapshotVector(step, []float64{float64(step)})
+		totalBytes += snap.Bytes()
+		st.Put(snap)
+		wantLen := step
+		if wantLen > 3 {
+			wantLen = 3
+		}
+		if st.Len() != wantLen {
+			t.Fatalf("after put %d: Len = %d, want %d", step, st.Len(), wantLen)
+		}
+	}
+	if st.Evicted() != 7 {
+		t.Fatalf("Evicted = %d, want 7", st.Evicted())
+	}
+	// Each 1-param snapshot is 8 payload + 12 header bytes.
+	if want := int64(7 * 20); st.EvictedBytes() != want {
+		t.Fatalf("EvictedBytes = %d, want %d", st.EvictedBytes(), want)
+	}
+	// The three newest survive, oldest first.
+	latest, ok := st.Latest()
+	if !ok || latest.Step != 10 {
+		t.Fatalf("Latest = (%v, %v), want step 10", latest.Step, ok)
+	}
+	for i, wantStep := range []int{8, 9, 10} {
+		if got := st.at(i).Step; got != wantStep {
+			t.Fatalf("slot %d holds step %d, want %d", i, got, wantStep)
+		}
+	}
+}
+
+// Restore still walks newest→oldest across the ring's wrap point, skipping
+// CRC failures.
+func TestStoreRingRestoreSkipsCorruptAcrossWrap(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(1)), snapArch)
+	st := NewStore(2)
+	// Fill past capacity so the ring has wrapped, then corrupt the newest.
+	for step := 1; step <= 5; step++ {
+		net.ParamVector() // no-op touch; each snapshot captures current params
+		st.Put(TakeSnapshot(step, net))
+	}
+	newest, _ := st.Latest()
+	if newest.Step != 5 {
+		t.Fatalf("newest step %d, want 5", newest.Step)
+	}
+	st.at(st.Len() - 1).Payload[3] ^= 0x10
+	got, skipped, err := st.Restore(net)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if skipped != 1 || got.Step != 4 {
+		t.Fatalf("restored step %d with %d skipped, want step 4 / 1 skipped", got.Step, skipped)
+	}
+}
+
+func TestStoreRingAllCorruptFails(t *testing.T) {
+	net := nn.NewMLP(rand.New(rand.NewSource(2)), snapArch)
+	st := NewStore(2)
+	for step := 1; step <= 2; step++ {
+		snap := TakeSnapshot(step, net)
+		snap.Payload[0] ^= 0xFF
+		st.Put(snap)
+	}
+	if _, skipped, err := st.Restore(net); err == nil || skipped != 2 {
+		t.Fatalf("restore of all-corrupt store: err=%v skipped=%d", err, skipped)
+	}
+}
+
+// An evicted slot must not pin its payload: the ring releases the
+// reference at eviction time rather than waiting for the overwrite.
+func TestStoreRingReleasesEvictedPayloads(t *testing.T) {
+	st := NewStore(1)
+	st.Put(SnapshotVector(1, make([]float64, 1024)))
+	held := &st.ring[0]
+	st.Put(SnapshotVector(2, make([]float64, 1024)))
+	if held.Step != 2 {
+		t.Fatalf("slot holds step %d after overwrite, want 2", held.Step)
+	}
+	if st.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted())
+	}
+}

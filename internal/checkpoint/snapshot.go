@@ -76,12 +76,20 @@ func (s Snapshot) Restore(net *nn.Network) error {
 	return nil
 }
 
-// Store keeps a bounded history of snapshots and restores from the newest
-// one that still verifies, so a corrupted latest snapshot degrades to the
-// previous good one instead of failing recovery outright.
+// Store keeps a bounded history of snapshots in a fixed-capacity ring and
+// restores from the newest one that still verifies, so a corrupted latest
+// snapshot degrades to the previous good one instead of failing recovery
+// outright. The ring never grows past its retention bound: an evicted
+// slot's payload reference is released immediately (not merely trimmed off
+// a shared backing array), so long elastic runs with periodic snapshots
+// hold memory proportional to keep, not to rounds elapsed.
 type Store struct {
-	keep  int
-	snaps []Snapshot // oldest first
+	keep         int
+	ring         []Snapshot // fixed capacity keep; slot next is the oldest when full
+	next         int        // slot the next Put writes
+	n            int        // resident snapshots (<= keep)
+	evicted      int        // snapshots displaced over the store's lifetime
+	evictedBytes int64      // their total payload+header bytes
 }
 
 // NewStore builds a store retaining the last keep snapshots (min 1).
@@ -89,26 +97,49 @@ func NewStore(keep int) *Store {
 	if keep < 1 {
 		keep = 1
 	}
-	return &Store{keep: keep}
+	return &Store{keep: keep, ring: make([]Snapshot, keep)}
 }
 
-// Put records a snapshot, evicting the oldest beyond the retention bound.
+// Put records a snapshot, evicting the oldest beyond the retention bound
+// and freeing the evicted payload.
 func (st *Store) Put(s Snapshot) {
-	st.snaps = append(st.snaps, s)
-	if len(st.snaps) > st.keep {
-		st.snaps = st.snaps[len(st.snaps)-st.keep:]
+	if st.n == st.keep {
+		old := &st.ring[st.next]
+		st.evicted++
+		st.evictedBytes += old.Bytes()
+		old.Payload = nil // release, don't wait for the overwrite below
+	} else {
+		st.n++
 	}
+	st.ring[st.next] = s
+	st.next = (st.next + 1) % st.keep
 }
 
 // Len returns the number of retained snapshots.
-func (st *Store) Len() int { return len(st.snaps) }
+func (st *Store) Len() int { return st.n }
+
+// Cap returns the retention bound.
+func (st *Store) Cap() int { return st.keep }
+
+// Evicted returns how many snapshots the retention bound has displaced
+// over the store's lifetime.
+func (st *Store) Evicted() int { return st.evicted }
+
+// EvictedBytes returns the total size of displaced snapshots — the storage
+// traffic a bounded ring saved relative to keeping full history resident.
+func (st *Store) EvictedBytes() int64 { return st.evictedBytes }
+
+// at returns the i-th retained snapshot, oldest first (i in [0, Len)).
+func (st *Store) at(i int) *Snapshot {
+	return &st.ring[(st.next-st.n+i+st.keep)%st.keep]
+}
 
 // Latest returns the newest retained snapshot (unverified).
 func (st *Store) Latest() (Snapshot, bool) {
-	if len(st.snaps) == 0 {
+	if st.n == 0 {
 		return Snapshot{}, false
 	}
-	return st.snaps[len(st.snaps)-1], true
+	return *st.at(st.n - 1), true
 }
 
 // Restore writes the newest verifiable snapshot into the network and
@@ -117,11 +148,11 @@ func (st *Store) Latest() (Snapshot, bool) {
 // verifies.
 func (st *Store) Restore(net *nn.Network) (Snapshot, int, error) {
 	skipped := 0
-	for i := len(st.snaps) - 1; i >= 0; i-- {
-		if err := st.snaps[i].Restore(net); err == nil {
-			return st.snaps[i], skipped, nil
+	for i := st.n - 1; i >= 0; i-- {
+		if err := st.at(i).Restore(net); err == nil {
+			return *st.at(i), skipped, nil
 		}
 		skipped++
 	}
-	return Snapshot{}, skipped, fmt.Errorf("checkpoint: no verifiable snapshot among %d retained: %w", len(st.snaps), ErrCorrupt)
+	return Snapshot{}, skipped, fmt.Errorf("checkpoint: no verifiable snapshot among %d retained: %w", st.n, ErrCorrupt)
 }

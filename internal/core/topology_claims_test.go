@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestX12TopologyClaims pins the X12 acceptance criteria: across the
+// weak-scaling matrix every topology × scenario cell converges within
+// 1.5x of its n's clean all-to-all loss with churn ledgers exact, a ring
+// under sustained link loss degrades to the mesh and still converges,
+// ring/tree beat the mesh's simulated time per round at n ≥ 64 with the
+// planner's analytic model matching the measured times, the topology
+// counters reconcile exactly with obs, and the hardest cell replays
+// bit-identically. Every check is on deterministic simulated quantities,
+// so one run suffices.
+func TestX12TopologyClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X12 weak-scaling matrix skipped in -short mode")
+	}
+	e, ok := Get("X12")
+	if !ok {
+		t.Fatal("X12 not registered")
+	}
+	tab := e.Run(Quick)
+	t.Log("\n" + tab.Render())
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+
+	// Quick scale: 2 n values × 4 topologies × 4 scenarios convergence
+	// cells, the five lettered invariants, and the per-n timing rows.
+	wantInvariants := []string{
+		"invariant-a-convergence", "invariant-b-degradation",
+		"invariant-c-scaling", "invariant-d-reconciliation",
+		"invariant-e-replay",
+	}
+	seen := map[string]bool{}
+	conv, timing := 0, 0
+	for _, row := range tab.Rows {
+		cell := row[col["cell"]]
+		seen[cell] = true
+		switch {
+		case strings.HasPrefix(cell, "conv-"):
+			conv++
+		case strings.HasPrefix(cell, "time-"):
+			timing++
+		}
+		if row[col["ok"]] != "yes" {
+			t.Errorf("%s failed: %s", cell, row[col["detail"]])
+		}
+	}
+	if conv != 2*4*4 {
+		t.Errorf("matrix has %d convergence cells, want 32", conv)
+	}
+	if timing < 2*4+1 {
+		t.Errorf("matrix has %d timing rows, want per-topology rounds at both n plus the crossover", timing)
+	}
+	for _, inv := range wantInvariants {
+		if !seen[inv] {
+			t.Errorf("invariant row %q missing", inv)
+		}
+	}
+}
+
+// TestTopologyBenchmark checks the perf-trajectory sample the CI bench
+// step records for X12: a finite wall time, a round throughput consistent
+// with the round count, and a robustness outcome that converged and
+// reconciled.
+func TestTopologyBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X12 bench sample skipped in -short mode")
+	}
+	perf, err := TopologyBenchmark(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.WallS <= 0 || perf.Rounds <= 0 || perf.Workers < 8 {
+		t.Fatalf("degenerate sample %+v", perf)
+	}
+	if got := perf.RoundsPerS * perf.WallS; got < float64(perf.Rounds)*0.99 || got > float64(perf.Rounds)*1.01 {
+		t.Fatalf("throughput %g inconsistent with rounds=%d wall=%gs", perf.RoundsPerS, perf.Rounds, perf.WallS)
+	}
+	if perf.Joins == 0 || perf.CatchUps == 0 {
+		t.Fatalf("bench cell saw no churn: %+v", perf)
+	}
+	if !perf.ConvergeOK || !perf.ReconcileOK {
+		t.Fatalf("bench cell lost convergence or reconciliation: %+v", perf)
+	}
+}

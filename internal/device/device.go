@@ -53,11 +53,22 @@ var (
 		MemCapacity: 4 << 30, LinkBandwidth: 100e6, LinkLatencyS: 1e-3,
 		Watts: 5, IdleWatts: 0.5,
 	}
+	// ClusterNode approximates one node of a commodity training cluster:
+	// accelerator-class compute behind a datacenter Ethernet NIC, so
+	// inter-node links are bandwidth-bound for realistic gradient payloads.
+	// This is the profile the collective-topology experiments scale on —
+	// its bandwidth/latency ratio puts the ring/mesh crossover at the
+	// payload sizes real data-parallel training ships.
+	ClusterNode = Profile{
+		Name: "cluster-node", FLOPsPerSec: 40e12, MemBandwidth: 800e9,
+		MemCapacity: 64 << 30, LinkBandwidth: 2.5e9, LinkLatencyS: 1e-5,
+		Watts: 350, IdleWatts: 60,
+	}
 )
 
 // Catalog lists all built-in profiles.
 func Catalog() []Profile {
-	return []Profile{CPUServer, GPUSmall, GPULarge, TPULike, EdgeDevice}
+	return []Profile{CPUServer, GPUSmall, GPULarge, TPULike, EdgeDevice, ClusterNode}
 }
 
 // ComputeTime returns the seconds needed to execute the given FLOPs at an

@@ -1,6 +1,9 @@
 package distributed
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ConfigError is a typed validation failure for a degenerate Config field:
 // which field, and why its value cannot run.
@@ -51,6 +54,18 @@ func (c Config) Validate() error {
 	if c.DropSlowestK != 0 && (c.DropSlowestK < 0 || c.DropSlowestK >= c.Workers) {
 		return &ConfigError{"DropSlowestK", fmt.Sprintf("%d out of [0, %d workers)", c.DropSlowestK, c.Workers)}
 	}
+	if !c.Topology.valid() {
+		return &ConfigError{"Topology", fmt.Sprintf("%q is not a known topology", string(c.Topology))}
+	}
+	if c.GroupSize != 0 && c.GroupSize < 2 {
+		return &ConfigError{"GroupSize", fmt.Sprintf("%d < 2: a hierarchical group needs at least two members", c.GroupSize)}
+	}
+	if c.SnapshotKeep < 0 {
+		return &ConfigError{"SnapshotKeep", fmt.Sprintf("%d is negative", c.SnapshotKeep)}
+	}
+	if err := c.validateChurn(); err != nil {
+		return err
+	}
 	if c.Reputation != nil {
 		r := *c.Reputation
 		if r.Decay != 0 && (r.Decay < 0 || r.Decay >= 1) {
@@ -73,6 +88,51 @@ func (c Config) Validate() error {
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return err
+	}
+	return nil
+}
+
+// validateChurn rejects incoherent elastic-membership schedules: events
+// referencing out-of-range workers or negative rounds, two events for one
+// worker in the same round, and sequences that contradict themselves (a
+// worker joining while present or leaving while absent — presence is
+// inferred from each worker's earliest event, matching the runtime rule
+// that a worker whose first event is a join starts the run absent).
+func (c Config) validateChurn() error {
+	byWorker := make(map[int][]ChurnEvent)
+	for _, ev := range c.Churn {
+		if ev.Worker < 0 || ev.Worker >= c.Workers {
+			return &ConfigError{"Churn", fmt.Sprintf("worker %d out of [0, %d workers)", ev.Worker, c.Workers)}
+		}
+		if ev.Round < 0 {
+			return &ConfigError{"Churn", fmt.Sprintf("worker %d scheduled at negative round %d", ev.Worker, ev.Round)}
+		}
+		byWorker[ev.Worker] = append(byWorker[ev.Worker], ev)
+	}
+	workers := make([]int, 0, len(byWorker))
+	for w := range byWorker {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		evs := byWorker[w]
+		sort.Slice(evs, func(a, b int) bool { return evs[a].Round < evs[b].Round })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Round == evs[i-1].Round {
+				return &ConfigError{"Churn", fmt.Sprintf("worker %d has two events at round %d", w, evs[i].Round)}
+			}
+		}
+		present := !evs[0].Join
+		for _, ev := range evs {
+			if ev.Join == present {
+				verb := "joins while present"
+				if !ev.Join {
+					verb = "leaves while absent"
+				}
+				return &ConfigError{"Churn", fmt.Sprintf("worker %d %s at round %d", w, verb, ev.Round)}
+			}
+			present = ev.Join
+		}
 	}
 	return nil
 }

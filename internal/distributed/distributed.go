@@ -83,6 +83,26 @@ type Config struct {
 	// rejoin by restoring the newest snapshot whose CRC verifies.
 	SnapshotPeriod int
 
+	// Topology selects the collective communication pattern for averaging
+	// rounds. The zero value keeps the historical parameter-server star
+	// bit-for-bit; the explicit Topo* collectives price per-hop costs with
+	// device.TransferTime on the simulated clock, heal around injected
+	// link faults, and degrade to the all-to-all fallback when healing
+	// would break the contribution quorum.
+	Topology Topology
+	// GroupSize is the intra-group ring width for TopoHier (default
+	// ceil(sqrt(members)), minimum 2). Ignored by the other topologies.
+	GroupSize int
+	// Churn is the deterministic elastic-membership schedule: each event
+	// makes one worker join or leave at the start of its round. Joiners
+	// catch up from the newest CRC-valid snapshot. An empty schedule keeps
+	// membership static (the historical behaviour).
+	Churn []ChurnEvent
+	// SnapshotKeep bounds the checkpoint ring: only the newest N global
+	// snapshots stay resident (default 2), so large-n runs with periodic
+	// snapshots hold bounded memory.
+	SnapshotKeep int
+
 	// Guard, when non-nil, screens worker contributions for numerical
 	// faults before they reach the aggregate: a worker whose loss or
 	// gradient is non-finite is excluded from the round (sync regime), and
@@ -143,6 +163,21 @@ type Stats struct {
 	SimSeconds      float64 // simulated wall-clock on Config.Device
 	AggSeconds      float64 // simulated time spent in the (explicit) aggregator
 
+	// Topology counters (all zero under the default parameter-server star
+	// with static membership).
+	LinkDropped       int     // hop attempts lost to link faults
+	LinkSlowHops      int     // hops priced over a degraded (slowed) link
+	LinkExcluded      int     // member-rounds a link failure or partition excluded from contributing
+	PartitionedRounds int     // rounds in which an active partition severed >=1 member
+	TopoHeals         int     // successful reroutes around dead links or a partitioned side
+	TopoDegraded      int     // rounds degraded to the all-to-all fallback to preserve quorum
+	MembershipEpochs  int     // distinct member sets the topology was (re)built for
+	Joins             int     // elastic-membership joins executed
+	Leaves            int     // elastic-membership leaves executed
+	CatchUps          int     // joiners that caught up from a CRC-valid snapshot
+	CommRounds        int     // collective exchanges executed
+	CommSeconds       float64 // simulated time spent inside collective exchanges
+
 	// Numerical-fault counters (all zero without numerical fault config).
 	NumericalFaults int // batches poisoned / labels shuffled by the injector
 	GuardSkipped    int // worker contributions excluded by the guard
@@ -185,6 +220,7 @@ type worker struct {
 	shard    []int
 	residual []float64 // error-feedback accumulator for dropped coordinates
 	downTo   int       // round before which the worker is down (0 = up)
+	absent   bool      // elastically left (or not yet joined) via the churn schedule
 	lastLoss float64
 }
 
@@ -204,6 +240,9 @@ func activeLoss(w *worker) float64 { return w.lastLoss }
 func liveWorkers(workers []*worker, inj *fault.Injector, store *checkpoint.Store, round int, stats *Stats, ins *distObs) []*worker {
 	var active []*worker
 	for _, wk := range workers {
+		if wk.absent {
+			continue // elastically departed (or not yet joined)
+		}
 		if wk.downTo > round {
 			continue // still down
 		}
@@ -306,6 +345,92 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 	rep.BeginRound(round)
 	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
 	net.obs.observeSteps(results)
+	included := screenRound(results, cfg, net, flopsPerExample, rep, stats)
+
+	// Each included worker compresses and uploads its gradient; lost or
+	// corrupted transmissions are retried with exponential backoff until
+	// the per-round retry budget runs out.
+	avgGrad := make([]float64, modelSize)
+	grads := make([][]float64, 0, len(included))
+	ids := make([]int, 0, len(included))
+	var computeS, uplinkS float64
+	for _, r := range included {
+		if r.seconds > computeS {
+			computeS = r.seconds
+		}
+		residual := r.wk.residual
+		if cfg.NoErrorFeedback {
+			residual = nil
+		}
+		sent := compressGradient(r.grad, residual, cfg.TopK, cfg.QuantBits)
+		ok, elapsed := net.send(r.wk.id, 2*round, sent, stats)
+		if elapsed > uplinkS {
+			uplinkS = elapsed
+		}
+		if !ok {
+			stats.Timeouts++
+			net.obs.timeouts.Inc()
+			if residual != nil {
+				// The compressed gradient never arrived; park it locally.
+				for i, g := range r.grad {
+					residual[i] += g
+				}
+			}
+			continue
+		}
+		grads = append(grads, r.grad)
+		ids = append(ids, r.wk.id)
+	}
+	clk.advance(computeS + uplinkS)
+	computeSpan := span.Child("compute", roundStart)
+	computeSpan.End(roundStart + computeS)
+	if len(grads) == 0 {
+		return 0, false // every upload timed out: no update this round
+	}
+	// Robust aggregation of the delivered gradients (worker-id order). An
+	// explicitly configured aggregator is charged its FLOPs cost on the
+	// simulated clock — robustness costs time, and X9 measures it.
+	if chargeAgg {
+		aggS := net.prof.ComputeTime(agg.FLOPs(len(grads), modelSize), 0.5)
+		aggSpan := span.Child("aggregate", roundStart+computeS+uplinkS)
+		aggSpan.End(roundStart + computeS + uplinkS + aggS)
+		clk.advance(aggS)
+		stats.AggSeconds += aggS
+	}
+	agg.Aggregate(avgGrad, grads)
+	observeDistances(rep, ids, grads, avgGrad)
+
+	// Broadcast of the averaged (already compressed) update. The server
+	// persists until every live worker has the round's update.
+	bb := broadcastBytes(avgGrad, cfg, len(active))
+	stats.BytesSent += bb
+	net.obs.bytesSent.Add(bb)
+	var downlinkS float64
+	for _, wk := range active {
+		_, elapsed := net.broadcast(wk.id, 2*round+1, perWorkerBroadcastBytes(avgGrad, cfg), stats)
+		if elapsed > downlinkS {
+			downlinkS = elapsed
+		}
+	}
+	clk.advance(downlinkS)
+	commSpan := span.Child("comm", roundStart+computeS)
+	commSpan.End(roundStart + computeS + uplinkS + downlinkS)
+	for _, wk := range active {
+		wk.net.SetGradVector(avgGrad)
+		wk.trainer.Opt.Step(wk.net.Params())
+		wk.net.PostStep()
+	}
+	stats.AveragingRound++
+	net.obs.rounds.Inc()
+	return results[0].loss, true
+}
+
+// screenRound applies the per-round contribution screens in their
+// historical order — straggler and numerical-fault tallies, the numerical
+// guard, reputation quarantine, then drop-slowest-k — and returns the
+// contributions admitted to aggregation. Shared by the parameter-server
+// star and the collective-topology sync paths.
+func screenRound(results []gradResult, cfg Config, net *transport, flopsPerExample int64, rep *robust.Reputation, stats *Stats) []gradResult {
 	straggled := false
 	for _, r := range results {
 		stats.NumericalFaults += r.injected
@@ -391,13 +516,30 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		}
 	}
 
-	// Each included worker compresses and uploads its gradient; lost or
-	// corrupted transmissions are retried with exponential backoff until
-	// the per-round retry budget runs out.
-	avgGrad := make([]float64, modelSize)
-	grads := make([][]float64, 0, len(included))
-	ids := make([]int, 0, len(included))
-	var computeS, uplinkS float64
+	return included
+}
+
+// syncRoundCollective is syncRound over an explicit collective topology:
+// instead of the parameter-server star, the admitted gradients are
+// reduce-broadcast across cfg.Topology, with per-hop costs priced by
+// device.TransferTime and link faults retried, healed around, or degraded
+// to the all-to-all fallback by the transport. A member the exchange
+// excluded (dead links, partition) folds its gradient into the
+// error-feedback residual — its work is deferred like a timed-out star
+// upload — but still receives the aggregate: the collective's broadcast
+// sweep keeps every active replica in lockstep.
+func syncRoundCollective(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport, clk *jobClock, step, round, modelSize int, flopsPerExample int64, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats, span *obs.Span) (float64, bool) {
+	roundStart := clk.now()
+	rep.BeginRound(round)
+	results := computeGrads(active, x, y, cfg, net.prof, net.inj, step, round, flopsPerExample, false)
+	net.obs.observeSteps(results)
+	included := screenRound(results, cfg, net, flopsPerExample, rep, stats)
+
+	// Compress every admitted gradient first: the collective moves one
+	// uniform payload (segmented by the topology), sized by the largest
+	// compressed contribution.
+	var computeS float64
+	var payload int64
 	for _, r := range included {
 		if r.seconds > computeS {
 			computeS = r.seconds
@@ -406,18 +548,34 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		if cfg.NoErrorFeedback {
 			residual = nil
 		}
-		sent := compressGradient(r.grad, residual, cfg.TopK, cfg.QuantBits)
-		ok, elapsed := net.send(r.wk.id, 2*round, sent, stats)
-		if elapsed > uplinkS {
-			uplinkS = elapsed
+		if b := compressGradient(r.grad, residual, cfg.TopK, cfg.QuantBits); b > payload {
+			payload = b
 		}
-		if !ok {
-			stats.Timeouts++
-			net.obs.timeouts.Inc()
-			if residual != nil {
-				// The compressed gradient never arrived; park it locally.
+	}
+	members := make([]int, len(active))
+	for i, wk := range active {
+		members[i] = wk.id
+	}
+	excluded, commS, _ := net.exchange(cfg.Topology, members, payload, round, cfg.GroupSize, stats)
+	stats.CommRounds++
+	net.obs.commRounds.Inc()
+	stats.CommSeconds += commS
+	clk.advance(computeS + commS)
+	computeSpan := span.Child("compute", roundStart)
+	computeSpan.End(roundStart + computeS)
+	commSpan := span.Child("comm", roundStart+computeS)
+	commSpan.End(roundStart + computeS + commS)
+
+	avgGrad := make([]float64, modelSize)
+	grads := make([][]float64, 0, len(included))
+	ids := make([]int, 0, len(included))
+	for _, r := range included {
+		if excluded[r.wk.id] {
+			if !cfg.NoErrorFeedback {
+				// The collective never carried this member's contribution;
+				// park it locally like a timed-out upload.
 				for i, g := range r.grad {
-					residual[i] += g
+					r.wk.residual[i] += g
 				}
 			}
 			continue
@@ -425,40 +583,18 @@ func syncRound(active []*worker, x, y *tensor.Tensor, cfg Config, net *transport
 		grads = append(grads, r.grad)
 		ids = append(ids, r.wk.id)
 	}
-	clk.advance(computeS + uplinkS)
-	computeSpan := span.Child("compute", roundStart)
-	computeSpan.End(roundStart + computeS)
 	if len(grads) == 0 {
-		return 0, false // every upload timed out: no update this round
+		return 0, false // nothing survived the exchange: no update this round
 	}
-	// Robust aggregation of the delivered gradients (worker-id order). An
-	// explicitly configured aggregator is charged its FLOPs cost on the
-	// simulated clock — robustness costs time, and X9 measures it.
 	if chargeAgg {
 		aggS := net.prof.ComputeTime(agg.FLOPs(len(grads), modelSize), 0.5)
-		aggSpan := span.Child("aggregate", roundStart+computeS+uplinkS)
-		aggSpan.End(roundStart + computeS + uplinkS + aggS)
+		aggSpan := span.Child("aggregate", roundStart+computeS+commS)
+		aggSpan.End(roundStart + computeS + commS + aggS)
 		clk.advance(aggS)
 		stats.AggSeconds += aggS
 	}
 	agg.Aggregate(avgGrad, grads)
 	observeDistances(rep, ids, grads, avgGrad)
-
-	// Broadcast of the averaged (already compressed) update. The server
-	// persists until every live worker has the round's update.
-	bb := broadcastBytes(avgGrad, cfg, len(active))
-	stats.BytesSent += bb
-	net.obs.bytesSent.Add(bb)
-	var downlinkS float64
-	for _, wk := range active {
-		_, elapsed := net.broadcast(wk.id, 2*round+1, perWorkerBroadcastBytes(avgGrad, cfg), stats)
-		if elapsed > downlinkS {
-			downlinkS = elapsed
-		}
-	}
-	clk.advance(downlinkS)
-	commSpan := span.Child("comm", roundStart+computeS)
-	commSpan.End(roundStart + computeS + uplinkS + downlinkS)
 	for _, wk := range active {
 		wk.net.SetGradVector(avgGrad)
 		wk.trainer.Opt.Step(wk.net.Params())
@@ -567,6 +703,62 @@ func averageRound(active []*worker, cfg Config, net *transport, clk *jobClock, r
 		wk.net.SetParamVector(avg)
 	}
 	clk.advance(downlinkS)
+	stats.AveragingRound++
+	net.obs.rounds.Inc()
+}
+
+// averageRoundCollective is Local SGD's model-averaging exchange over an
+// explicit collective topology: one reduce-broadcast of the full parameter
+// vector replaces the star's upload/download pair. Members the exchange
+// excluded (dead links, partition) contribute nothing this round but still
+// receive the aggregate, like quarantined workers; Byzantine members
+// corrupt the parameters they feed into the reduction.
+func averageRoundCollective(active []*worker, cfg Config, net *transport, clk *jobClock, round, modelSize int, agg robust.Aggregator, chargeAgg bool, rep *robust.Reputation, stats *Stats) {
+	rep.BeginRound(round)
+	modelBytes := int64(modelSize) * wireBytesPerFloat
+	members := make([]int, len(active))
+	for i, wk := range active {
+		members[i] = wk.id
+	}
+	excluded, commS, _ := net.exchange(cfg.Topology, members, modelBytes, round, cfg.GroupSize, stats)
+	stats.CommRounds++
+	net.obs.commRounds.Inc()
+	stats.CommSeconds += commS
+	clk.advance(commS)
+
+	avg := make([]float64, modelSize)
+	vecs := make([][]float64, 0, len(active))
+	ids := make([]int, 0, len(active))
+	for _, wk := range active {
+		if rep.Quarantined(wk.id) {
+			stats.QuarantineExcluded++
+			net.obs.quarExcluded.Inc()
+			continue
+		}
+		if excluded[wk.id] {
+			continue
+		}
+		v := wk.net.ParamVectorInto(nil)
+		if net.inj.CorruptGradient(v, wk.id, round) {
+			stats.ByzantineAttacks++
+			net.obs.byzAttacks.Inc()
+		}
+		vecs = append(vecs, v)
+		ids = append(ids, wk.id)
+	}
+	if len(vecs) == 0 {
+		return
+	}
+	if chargeAgg {
+		aggS := net.prof.ComputeTime(agg.FLOPs(len(vecs), modelSize), 0.5)
+		clk.advance(aggS)
+		stats.AggSeconds += aggS
+	}
+	agg.Aggregate(avg, vecs)
+	observeDistances(rep, ids, vecs, avg)
+	for _, wk := range active {
+		wk.net.SetParamVector(avg)
+	}
 	stats.AveragingRound++
 	net.obs.rounds.Inc()
 }

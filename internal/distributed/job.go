@@ -3,6 +3,7 @@ package distributed
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"dlsys/internal/checkpoint"
 	"dlsys/internal/device"
@@ -58,6 +59,11 @@ type Job struct {
 	flopsPerExample int64
 	stepsPerEpoch   int
 
+	snaps       bool // snapshotting enabled (faults or elastic membership)
+	churn       []ChurnEvent
+	churnIdx    int
+	lastMembers []int // member-id set of the previous round's topology
+
 	stats     Stats
 	epoch     int
 	step      int
@@ -89,6 +95,9 @@ func NewJob(seed int64, x, y *tensor.Tensor, cfg Config) (*Job, error) {
 	}
 	if cfg.SnapshotPeriod < 1 {
 		cfg.SnapshotPeriod = 5
+	}
+	if cfg.SnapshotKeep < 1 {
+		cfg.SnapshotKeep = 2
 	}
 	k := cfg.Kernel
 	if k == nil {
@@ -145,8 +154,29 @@ func NewJob(seed int64, x, y *tensor.Tensor, cfg Config) (*Job, error) {
 		}
 	}
 
-	j.store = checkpoint.NewStore(2)
-	if j.inj != nil {
+	// Elastic membership: the churn schedule executes in (round, worker)
+	// order, and a worker whose earliest event is a join starts absent.
+	j.churn = append([]ChurnEvent(nil), cfg.Churn...)
+	sort.Slice(j.churn, func(a, b int) bool {
+		if j.churn[a].Round != j.churn[b].Round {
+			return j.churn[a].Round < j.churn[b].Round
+		}
+		return j.churn[a].Worker < j.churn[b].Worker
+	})
+	earliest := make(map[int]bool)
+	for _, ev := range j.churn {
+		if earliest[ev.Worker] {
+			continue
+		}
+		earliest[ev.Worker] = true
+		if ev.Join {
+			j.workers[ev.Worker].absent = true
+		}
+	}
+
+	j.store = checkpoint.NewStore(cfg.SnapshotKeep)
+	j.snaps = j.inj != nil || len(j.churn) > 0
+	if j.snaps {
 		takeSnapshot(j.store, j.inj, 0, j.global, &j.stats, j.ins)
 	}
 	j.modelSize = j.global.NumParams()
@@ -192,20 +222,47 @@ func (j *Job) runRound(float64) {
 	}
 	step := j.step
 	round := j.epoch*j.stepsPerEpoch + step
+	// Elastic membership transitions happen at the start of their round,
+	// before crash/rejoin processing, so a joiner can still crash on
+	// arrival and a leaver never computes a round it is not part of.
+	for j.churnIdx < len(j.churn) && j.churn[j.churnIdx].Round <= round {
+		j.applyChurn(j.churn[j.churnIdx])
+		j.churnIdx++
+	}
 	active := liveWorkers(j.workers, j.inj, j.store, round, stats, j.ins)
+	// Every change in the active member set opens a membership epoch: the
+	// collective topology is rebuilt over the new set. Tracked only when
+	// topology or churn is in play, so legacy runs stay untouched.
+	if j.cfg.Topology != TopoDefault || len(j.churn) > 0 {
+		ids := make([]int, len(active))
+		for i, wk := range active {
+			ids[i] = wk.id
+		}
+		if !equalInts(ids, j.lastMembers) {
+			stats.MembershipEpochs++
+			j.ins.epochs.Inc()
+			j.lastMembers = ids
+		}
+	}
 	switch {
 	case len(active) == 0:
 		// Whole cluster down: the round idles away a restart delay.
 		j.clk.advance(net.backoffS)
 	case cfg.AveragePeriod == 1:
 		roundSpan := j.trainSpan.Child("sync-round", j.clk.now())
-		loss, ok := syncRound(active, j.x, j.y, cfg, net, j.clk, step, round, j.modelSize, j.flopsPerExample, j.agg, j.chargeAgg, j.rep, stats, roundSpan)
+		var loss float64
+		var ok bool
+		if cfg.Topology != TopoDefault {
+			loss, ok = syncRoundCollective(active, j.x, j.y, cfg, net, j.clk, step, round, j.modelSize, j.flopsPerExample, j.agg, j.chargeAgg, j.rep, stats, roundSpan)
+		} else {
+			loss, ok = syncRound(active, j.x, j.y, cfg, net, j.clk, step, round, j.modelSize, j.flopsPerExample, j.agg, j.chargeAgg, j.rep, stats, roundSpan)
+		}
 		roundSpan.End(j.clk.now())
 		if ok && active[0].id == 0 && !math.IsNaN(loss) && !math.IsInf(loss, 0) {
 			j.epochLoss += loss
 			j.lossSteps++
 		}
-		if j.inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+		if j.snaps && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
 			takeSnapshot(j.store, j.inj, round+1, active[0].net, stats, j.ins)
 		}
 	default:
@@ -217,9 +274,13 @@ func (j *Job) runRound(float64) {
 		globalStep := round + 1
 		if globalStep%cfg.AveragePeriod == 0 {
 			roundSpan := j.trainSpan.Child("avg-round", j.clk.now())
-			averageRound(active, cfg, net, j.clk, round, j.modelSize, j.agg, j.chargeAgg, j.rep, stats)
+			if cfg.Topology != TopoDefault {
+				averageRoundCollective(active, cfg, net, j.clk, round, j.modelSize, j.agg, j.chargeAgg, j.rep, stats)
+			} else {
+				averageRound(active, cfg, net, j.clk, round, j.modelSize, j.agg, j.chargeAgg, j.rep, stats)
+			}
 			roundSpan.End(j.clk.now())
-			if j.inj != nil && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
+			if j.snaps && stats.AveragingRound%cfg.SnapshotPeriod == 0 {
 				takeSnapshot(j.store, j.inj, round+1, active[0].net, stats, j.ins)
 			}
 		}
@@ -244,6 +305,46 @@ func (j *Job) runRound(float64) {
 	}
 }
 
+// applyChurn executes one elastic-membership event at the start of its
+// round: a leave marks the worker absent; a join brings it back, catching
+// up from the newest CRC-valid snapshot (or, when nothing restorable
+// exists, from a present peer's parameters) with a cleared residual —
+// membership epoch state machine: join → catch-up → active → leave.
+func (j *Job) applyChurn(ev ChurnEvent) {
+	wk := j.workers[ev.Worker]
+	if !ev.Join {
+		if !wk.absent {
+			wk.absent = true
+			j.stats.Leaves++
+			j.ins.leaves.Inc()
+		}
+		return
+	}
+	if !wk.absent {
+		return
+	}
+	wk.absent = false
+	wk.downTo = 0
+	j.stats.Joins++
+	j.ins.joins.Inc()
+	if _, skipped, err := j.store.Restore(wk.net); err == nil {
+		j.stats.CatchUps++
+		j.ins.catchups.Inc()
+		j.stats.Corruptions += skipped
+		j.ins.corrupts.Add(int64(skipped))
+	} else {
+		for _, peer := range j.workers {
+			if peer != wk && !peer.absent && peer.downTo == 0 {
+				wk.net.SetParamVector(peer.net.ParamVector())
+				break
+			}
+		}
+	}
+	for i := range wk.residual {
+		wk.residual[i] = 0
+	}
+}
+
 // Done reports whether every scheduled round has executed.
 func (j *Job) Done() bool { return j.done }
 
@@ -264,6 +365,9 @@ func (j *Job) Result() (*nn.Network, Stats, error) {
 	totalRounds := j.cfg.Epochs * j.stepsPerEpoch
 	var final []*worker
 	for _, wk := range j.workers {
+		if wk.absent {
+			continue // elastically departed: holds stale parameters
+		}
 		if wk.downTo <= totalRounds {
 			final = append(final, wk)
 		}
@@ -285,5 +389,6 @@ func (j *Job) Result() (*nn.Network, Stats, error) {
 	j.trainSpan.End(stats.SimSeconds)
 	j.ins.simSeconds.Set(stats.SimSeconds)
 	j.ins.aggSeconds.Set(stats.AggSeconds)
+	j.ins.commSeconds.Set(stats.CommSeconds)
 	return j.global, j.stats, nil
 }

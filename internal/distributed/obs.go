@@ -22,7 +22,13 @@ type distObs struct {
 	quarantines, readmissions              *obs.Counter
 	rounds, steps                          *obs.Counter
 	bytesSent, snapshotBytes               *obs.Counter
+	linkDropped, linkSlowHops              *obs.Counter
+	linkExcluded, partRounds               *obs.Counter
+	topoHeals, topoDegraded                *obs.Counter
+	epochs, joins, leaves, catchups        *obs.Counter
+	commRounds                             *obs.Counter
 	simSeconds, aggSeconds                 *obs.Gauge
+	commSeconds                            *obs.Gauge
 
 	stepSeconds []*obs.Histogram // per-worker compute time, worker-id order
 }
@@ -57,8 +63,20 @@ func newDistObs(h *obs.Handle, workers int) *distObs {
 		steps:           h.Counter("distributed.steps"),
 		bytesSent:       h.Counter("distributed.bytes_sent"),
 		snapshotBytes:   h.Counter("distributed.snapshot_bytes"),
+		linkDropped:     h.Counter("distributed.link_dropped"),
+		linkSlowHops:    h.Counter("distributed.link_slow_hops"),
+		linkExcluded:    h.Counter("distributed.link_excluded"),
+		partRounds:      h.Counter("distributed.partitioned_rounds"),
+		topoHeals:       h.Counter("distributed.topo_heals"),
+		topoDegraded:    h.Counter("distributed.topo_degraded"),
+		epochs:          h.Counter("distributed.membership_epochs"),
+		joins:           h.Counter("distributed.joins"),
+		leaves:          h.Counter("distributed.leaves"),
+		catchups:        h.Counter("distributed.catchups"),
+		commRounds:      h.Counter("distributed.comm_rounds"),
 		simSeconds:      h.Gauge("distributed.sim_seconds"),
 		aggSeconds:      h.Gauge("distributed.agg_seconds"),
+		commSeconds:     h.Gauge("distributed.comm_seconds"),
 	}
 	d.stepSeconds = make([]*obs.Histogram, workers)
 	for w := range d.stepSeconds {

@@ -49,6 +49,15 @@ const (
 	KindDriftAttack // small consistent bias added each round (stealthy drift)
 	KindCollude     // fixed coalition coordinating amplified label-flip gradients
 
+	// Link-level fault classes, injected into individual edges of a
+	// collective-communication topology rather than whole workers. Draws
+	// are keyed by (seed, kind, src, dst, round) — see link.go — so a
+	// flaky switch port affects exactly the same hops on every replay.
+
+	KindLinkDrop  // one hop's payload lost on a specific link (sender retries, then reroutes)
+	KindLinkSlow  // link degraded for the round: hop time multiplied
+	KindPartition // network bipartition: every link across the cut is severed
+
 	// kindEnd is one past the last declared kind. The exhaustiveness test
 	// iterates [KindCrash, kindEnd) and fails on any "unknown" rendering,
 	// so a new kind cannot silently print as unknown in ledgers.
@@ -84,6 +93,12 @@ func (k Kind) String() string {
 		return "drift-attack"
 	case KindCollude:
 		return "collude"
+	case KindLinkDrop:
+		return "link-drop"
+	case KindLinkSlow:
+		return "link-slow"
+	case KindPartition:
+		return "partition"
 	}
 	return "unknown"
 }
@@ -157,6 +172,22 @@ type Config struct {
 	// gradients under KindCollude (default 50).
 	ColludeBoost float64
 
+	// LinkDropProb is the per-hop, per-attempt probability that a
+	// topology edge loses its payload, forcing the sender to retransmit
+	// and — once the retry budget is exhausted — to route around the link.
+	LinkDropProb float64
+	// LinkSlowProb is the per-link, per-round probability that an edge is
+	// degraded for the whole round, multiplying every hop over it by
+	// LinkSlowFactor (default 8x).
+	LinkSlowProb   float64
+	LinkSlowFactor float64
+	// PartitionProb is the per-round probability that a network
+	// bipartition begins. Once started it lasts PartitionRounds rounds
+	// (default 3); each worker's side of the cut is a hash of the start
+	// round, so the cut is stable for the partition's whole duration.
+	PartitionProb   float64
+	PartitionRounds int
+
 	// Schedule lists declarative time-windowed fault rules resolved
 	// against simulated time — see Window. A kind may be driven either by
 	// its flat rate above or by windows, never both (Validate rejects the
@@ -194,6 +225,21 @@ func NumericalRate(seed int64, rate float64) Config {
 	}
 }
 
+// LinkRate builds a Config in which one knob drives only the link-level
+// fault classes: per-attempt hop drops at the full rate, degraded links at
+// half of it, partitions starting at a twentieth. This is the scenario
+// generator for the X12 topology experiment.
+func LinkRate(seed int64, rate float64) Config {
+	return Config{
+		Seed:            seed,
+		LinkDropProb:    rate,
+		LinkSlowProb:    rate / 2,
+		LinkSlowFactor:  8,
+		PartitionProb:   rate / 20,
+		PartitionRounds: 3,
+	}
+}
+
 // Byzantine builds a Config in which only the listed workers misbehave,
 // mounting the given attack every round (rate 1). Attack magnitudes take
 // their documented defaults; callers tune the exported fields directly for
@@ -211,6 +257,7 @@ func Byzantine(seed int64, kind Kind, workers ...int) Config {
 func (c Config) Enabled() bool {
 	return c.CrashProb > 0 || c.StragglerProb > 0 || c.DropProb > 0 || c.CorruptProb > 0 ||
 		c.BatchCorruptProb > 0 || c.LabelNoiseProb > 0 || c.LRSpikeProb > 0 ||
+		c.LinkDropProb > 0 || c.LinkSlowProb > 0 || c.PartitionProb > 0 ||
 		len(c.ByzantineWorkers) > 0 || len(c.Schedule) > 0
 }
 
@@ -225,6 +272,8 @@ func (c Config) Validate() error {
 		{"DropProb", c.DropProb}, {"CorruptProb", c.CorruptProb},
 		{"BatchCorruptProb", c.BatchCorruptProb}, {"LabelNoiseProb", c.LabelNoiseProb},
 		{"LRSpikeProb", c.LRSpikeProb}, {"ByzantineRate", c.ByzantineRate},
+		{"LinkDropProb", c.LinkDropProb}, {"LinkSlowProb", c.LinkSlowProb},
+		{"PartitionProb", c.PartitionProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return &ConfigError{Field: p.name, Value: p.v}

@@ -1,0 +1,156 @@
+package fault
+
+import "testing"
+
+func TestLinkDrawsDeterministicAndOrderIndependent(t *testing.T) {
+	inj := NewInjector(LinkRate(42, 0.3))
+
+	// Same arguments, same outcome — regardless of interleaved queries.
+	first := make([]bool, 0, 64)
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			for round := 0; round < 4; round++ {
+				first = append(first, inj.LinkDrops(src, dst, round, 1, 0))
+			}
+		}
+	}
+	// Re-query in reverse order with unrelated draws interleaved.
+	for src := 3; src >= 0; src-- {
+		for dst := 3; dst >= 0; dst-- {
+			for round := 3; round >= 0; round-- {
+				inj.LinkSlow(dst, src, round) // unrelated stream
+				got := inj.LinkDrops(src, dst, round, 1, 0)
+				want := first[src*16+dst*4+round]
+				if got != want {
+					t.Fatalf("LinkDrops(%d,%d,%d) changed between queries: %v then %v",
+						src, dst, round, want, got)
+				}
+			}
+		}
+	}
+
+	// Different hop sequence numbers draw independently: over many links at
+	// p=0.3 the two streams must not be identical.
+	same := true
+	for l := 0; l < 200 && same; l++ {
+		if inj.LinkDrops(l, l+1, 0, 0, 0) != inj.LinkDrops(l, l+1, 0, 1, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("hopSeq does not salt the link-drop stream")
+	}
+}
+
+func TestLinkDirectionality(t *testing.T) {
+	// src→dst and dst→src are distinct links: at p=0.5 the two directions
+	// must disagree somewhere across many links.
+	inj := NewInjector(Config{Seed: 7, LinkDropProb: 0.5})
+	for l := 0; l < 200; l++ {
+		if inj.LinkDrops(l, l+1, 3, 0, 0) != inj.LinkDrops(l+1, l, 3, 0, 0) {
+			return
+		}
+	}
+	t.Fatal("forward and reverse links always agree — linkKey is symmetric")
+}
+
+func TestLinkSlowFactorDefaultsAndSticksPerRound(t *testing.T) {
+	inj := NewInjector(Config{Seed: 11, LinkSlowProb: 0.5}) // factor unset → 8
+	sawSlow := false
+	for l := 0; l < 100; l++ {
+		f := inj.LinkSlow(l, l+1, 2)
+		if f != 1 && f != 8 {
+			t.Fatalf("LinkSlow returned %v; want 1 or the default 8", f)
+		}
+		if f != inj.LinkSlow(l, l+1, 2) {
+			t.Fatal("LinkSlow not stable within a round")
+		}
+		if f > 1 {
+			sawSlow = true
+		}
+	}
+	if !sawSlow {
+		t.Fatal("no slow link in 100 draws at p=0.5")
+	}
+}
+
+func TestPartitionStableCutAndDuration(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, PartitionProb: 0.2, PartitionRounds: 3})
+
+	foundStart := -1
+	for r := 0; r < 50; r++ {
+		if start, ok := inj.PartitionAt(r); ok && start == r {
+			foundStart = r
+			break
+		}
+	}
+	if foundStart < 0 {
+		t.Fatal("no partition started in 50 rounds at p=0.2")
+	}
+	// The partition stays active, with the same start, for its duration.
+	for r := foundStart; r < foundStart+3; r++ {
+		start, ok := inj.PartitionAt(r)
+		if !ok {
+			t.Fatalf("partition inactive at round %d inside [%d,%d)", r, foundStart, foundStart+3)
+		}
+		if start > r || start <= r-3 {
+			t.Fatalf("PartitionAt(%d) start %d outside the 3-round window", r, start)
+		}
+	}
+	// Sides are stable for the whole partition and both endpoints agree.
+	for w := 0; w < 16; w++ {
+		s := inj.PartitionSide(w, foundStart)
+		if s != 0 && s != 1 {
+			t.Fatalf("PartitionSide(%d) = %d; want 0 or 1", w, s)
+		}
+		if s != inj.PartitionSide(w, foundStart) {
+			t.Fatal("PartitionSide not deterministic")
+		}
+	}
+	// LinkCut severs exactly the cross-side links.
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			want := inj.PartitionSide(src, foundStart) != inj.PartitionSide(dst, foundStart)
+			if got := inj.LinkCut(src, dst, foundStart); got != want {
+				t.Fatalf("LinkCut(%d,%d) = %v; want %v", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestNilInjectorLinkMethods(t *testing.T) {
+	var inj *Injector
+	if inj.LinkDrops(0, 1, 0, 0, 0) {
+		t.Fatal("nil injector drops")
+	}
+	if f := inj.LinkSlow(0, 1, 0); f != 1 {
+		t.Fatalf("nil injector LinkSlow = %v; want 1", f)
+	}
+	if _, ok := inj.PartitionAt(0); ok {
+		t.Fatal("nil injector partitions")
+	}
+	if inj.LinkCut(0, 1, 0) {
+		t.Fatal("nil injector cuts links")
+	}
+}
+
+func TestLinkConfigValidation(t *testing.T) {
+	for _, c := range []Config{
+		{LinkDropProb: -0.1},
+		{LinkSlowProb: 1.5},
+		{PartitionProb: 2},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", c)
+		}
+	}
+	if err := LinkRate(1, 0.2).Validate(); err != nil {
+		t.Fatalf("LinkRate config rejected: %v", err)
+	}
+	if !LinkRate(1, 0.2).Enabled() {
+		t.Fatal("LinkRate config not Enabled")
+	}
+	if (Config{PartitionProb: 0.1}).Enabled() == false {
+		t.Fatal("partition-only config not Enabled")
+	}
+}

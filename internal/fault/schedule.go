@@ -93,6 +93,12 @@ func scheduleBaseField(k Kind) string {
 		return "LabelNoiseProb"
 	case KindLRSpike:
 		return "LRSpikeProb"
+	case KindLinkDrop:
+		return "LinkDropProb"
+	case KindLinkSlow:
+		return "LinkSlowProb"
+	case KindPartition:
+		return "PartitionProb"
 	}
 	return ""
 }
@@ -113,6 +119,12 @@ func (c Config) baseProb(field string) float64 {
 		return c.LabelNoiseProb
 	case "LRSpikeProb":
 		return c.LRSpikeProb
+	case "LinkDropProb":
+		return c.LinkDropProb
+	case "LinkSlowProb":
+		return c.LinkSlowProb
+	case "PartitionProb":
+		return c.PartitionProb
 	}
 	return 0
 }

@@ -1,0 +1,87 @@
+package robust
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// driveQuarantines runs a 100-worker scenario where a fixed offender set
+// uploads at 50x the honest distance every round, and returns the tracker.
+func driveQuarantines(rounds int, offenders map[int]bool) *Reputation {
+	const n = 100
+	rep := NewReputation(ReputationConfig{})
+	workers := make([]int, n)
+	dists := make([]float64, n)
+	for i := range workers {
+		workers[i] = i
+	}
+	for round := 0; round < rounds; round++ {
+		rep.BeginRound(round)
+		for i := range workers {
+			if offenders[i] {
+				dists[i] = 50
+			} else {
+				// Honest spread around the median, deterministic per (worker, round).
+				dists[i] = 1 + 0.1*float64((i*7+round*3)%11)
+			}
+		}
+		rep.Observe(workers, dists)
+	}
+	return rep
+}
+
+// At n=100 the tracker quarantines exactly the offender coalition, the
+// ledger fingerprint replays bit-identically, and OffenderString is sorted
+// numerically (not lexically) and stable across runs.
+func TestReputationHundredWorkersDeterministic(t *testing.T) {
+	offenders := map[int]bool{3: true, 41: true, 77: true, 9: true, 100 - 1: true}
+	rep1 := driveQuarantines(30, offenders)
+	rep2 := driveQuarantines(30, offenders)
+
+	led1, led2 := rep1.Ledger(), rep2.Ledger()
+	if led1.Fingerprint() != led2.Fingerprint() {
+		t.Fatalf("ledger fingerprints differ across identical runs: %x vs %x",
+			led1.Fingerprint(), led2.Fingerprint())
+	}
+	got := led1.Offenders()
+	if len(got) != len(offenders) {
+		t.Fatalf("quarantined %v, want exactly the %d-member coalition", got, len(offenders))
+	}
+	for _, w := range got {
+		if !offenders[w] {
+			t.Fatalf("honest worker %d quarantined", w)
+		}
+	}
+	// Sorted numerically: 3,9,41,77,99 — a lexical sort would yield 3,41,77,9,99.
+	if s := led1.OffenderString(); s != "3,9,41,77,99" {
+		t.Fatalf("OffenderString = %q, want numeric order 3,9,41,77,99", s)
+	}
+	if led1.OffenderString() != led2.OffenderString() {
+		t.Fatal("OffenderString unstable across identical runs")
+	}
+}
+
+// Offenders stays sorted and deduplicated at arbitrary n, regardless of the
+// order quarantine events landed in the ledger.
+func TestOffenderStringSortedAtArbitraryN(t *testing.T) {
+	var led Ledger
+	// Record in adversarial (descending, with repeats) order.
+	for _, w := range []int{250, 11, 103, 2, 103, 40, 11} {
+		led.record(Event{Round: 1, Worker: w, Kind: EventQuarantine})
+	}
+	led.record(Event{Round: 2, Worker: 103, Kind: EventReadmit})
+	s := led.OffenderString()
+	if s != "2,11,40,103,250" {
+		t.Fatalf("OffenderString = %q, want deduplicated ascending 2,11,40,103,250", s)
+	}
+	parts := strings.Split(s, ",")
+	prev := -1
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= prev {
+			t.Fatalf("OffenderString %q is not strictly ascending integers", s)
+		}
+		prev = v
+	}
+}
