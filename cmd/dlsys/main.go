@@ -6,10 +6,11 @@
 //	dlsys techniques                 # print the tradeoff framework
 //	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X12)
 //	dlsys run all [-full]            # run every experiment in order
-//	dlsys bench [x10|x11|x12] [-full] [-o f]
+//	dlsys bench [x10|x11|x12|x13] [-full] [-o f]
 //	                                 # time the X10 chaos day, the X11 live-index
-//	                                 # cell, or the X12 elastic-topology cell, and
-//	                                 # emit a JSON perf sample
+//	                                 # cell, the X12 elastic-topology cell, or the
+//	                                 # X13 tensor-kernel hierarchy, and emit a
+//	                                 # JSON perf sample
 package main
 
 import (
@@ -43,7 +44,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X12|all> [-full] | dlsys bench [x10|x11|x12] [-full] [-o file] [-pr n] [-date d]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X12|all> [-full] | dlsys bench [x10|x11|x12|x13] [-full] [-o file] [-pr n] [-date d]")
 }
 
 func list() {
@@ -92,9 +93,9 @@ func run(args []string) {
 }
 
 // bench times one composed simulation — the X10 production day (default),
-// the hardest X11 live-index cell, or the hardest X12 elastic-topology
-// cell — and emits a JSON perf sample, the per-PR trajectory point CI
-// records (BENCH_X10.json / BENCH_X11.json / BENCH_X12.json).
+// the hardest X11 live-index cell, the hardest X12 elastic-topology cell,
+// or the X13 tensor-kernel hierarchy — and emits a JSON perf sample, the
+// per-PR trajectory point CI records (BENCH_X10.json … BENCH_X13.json).
 func bench(args []string) {
 	target := "x10"
 	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
@@ -144,8 +145,18 @@ func bench(args []string) {
 			stamp
 			dlsys.TopologyPerf
 		}{stamp{*pr, *date}, perf}
+	case "x13":
+		perf, err := dlsys.BenchmarkKernels(*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec = struct {
+			stamp
+			dlsys.KernelPerf
+		}{stamp{*pr, *date}, perf}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11, x12)\n", target)
+		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11, x12, x13)\n", target)
 		os.Exit(2)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")

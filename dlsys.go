@@ -130,6 +130,23 @@ func BenchmarkTopology(full bool) (TopologyPerf, error) {
 	return core.TopologyBenchmark(scale)
 }
 
+// KernelPerf is the X13 tensor-kernel throughput sample (re-exported from
+// core): per-tier GEMM throughput (reference, tiled, pooled, batched,
+// float32), speedups over the serial reference, and whether the fast
+// float64 tiers stayed bit-identical to it.
+type KernelPerf = core.KernelPerf
+
+// BenchmarkKernels times every tier of the GEMM kernel hierarchy on one
+// square product (1024³ at full scale) and returns the perf-trajectory
+// sample CI records per PR (BENCH_X13.json).
+func BenchmarkKernels(full bool) (KernelPerf, error) {
+	scale := core.Quick
+	if full {
+		scale = core.Full
+	}
+	return core.KernelBenchmark(scale)
+}
+
 // PipelineSpec declares a train/compress/deploy pipeline (re-exported from
 // pipeline); zero-valued stages are skipped.
 type PipelineSpec = pipeline.Spec

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"dlsys/internal/tensor"
+)
+
+// X13: the tensor-engine kernel benchmark. Unlike X10–X12 — which time
+// composed simulations — X13 times the compute substrate every other
+// experiment bottoms out in: the GEMM kernel hierarchy (reference → tiled
+// → pooled → batched → f32). The sample both starts the roadmap's raw
+// kernel perf trajectory and re-verifies the determinism contract on the
+// machine that produced the numbers: the speedups only count if the fast
+// tiers returned bit-identical results.
+
+// KernelPerf is one X13 performance sample: wall time and throughput of
+// each kernel tier on an n³ GEMM, the speedups over the serial reference,
+// and whether the fast float64 tiers were bit-identical to it. The CI
+// bench step appends these to the repo's performance trajectory
+// (BENCH_X13.json).
+type KernelPerf struct {
+	N          int     `json:"n"`
+	WallS      float64 `json:"wall_s"` // total benchmark wall time
+	NaiveGFS   float64 `json:"naive_gflops"`
+	TiledGFS   float64 `json:"tiled_gflops"`
+	PooledGFS  float64 `json:"pooled_gflops"`
+	BatchedGFS float64 `json:"batched_gflops"`
+	F32GFS     float64 `json:"f32_gflops"`
+	TiledX     float64 `json:"tiled_speedup"`
+	PooledX    float64 `json:"pooled_speedup"`
+	BitExact   bool    `json:"bitexact"` // fast f64 tiers matched the reference
+}
+
+// kernelN picks the GEMM size: the documented 1024³ at full scale, a
+// quick 256³ cell otherwise.
+func kernelN(scale Scale) int {
+	if scale == Full {
+		return 1024
+	}
+	return 256
+}
+
+// KernelBenchmark times every tier of the GEMM hierarchy on one n³
+// product and cross-checks the bit-exactness contract on the measured
+// outputs.
+func KernelBenchmark(scale Scale) (KernelPerf, error) {
+	n := kernelN(scale)
+	rng := rand.New(rand.NewSource(300 + int64(n)))
+	a := tensor.RandNormal(rng, 0, 1, n, n)
+	b := tensor.RandNormal(rng, 0, 1, n, n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	start := time.Now()
+
+	t0 := time.Now()
+	ref := tensor.MatMulRef(a, b)
+	naiveS := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	tiled := tensor.MatMulTiled(a, b)
+	tiledS := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	pooled := tensor.MatMul(a, b)
+	pooledS := time.Since(t0).Seconds()
+
+	// Batched: 4 slices of (n/2)³ keeps the work comparable while
+	// exercising the rank-3 storage walk.
+	const bt = 4
+	h := n / 2
+	ab := tensor.New(bt, h, h)
+	bb := tensor.New(bt, h, h)
+	for i := range ab.Data {
+		ab.Data[i] = a.Data[i%len(a.Data)]
+	}
+	for i := range bb.Data {
+		bb.Data[i] = b.Data[i%len(b.Data)]
+	}
+	t0 = time.Now()
+	tensor.BatMul(ab, bb)
+	batchedS := time.Since(t0).Seconds()
+	batchedFLOPs := 2 * float64(bt) * float64(h) * float64(h) * float64(h)
+
+	a32, b32 := tensor.ToFloat32(a), tensor.ToFloat32(b)
+	t0 = time.Now()
+	tensor.MatMul32(a32, b32)
+	f32S := time.Since(t0).Seconds()
+
+	bitexact := tensor.Equal(tiled, ref, 0) && tensor.Equal(pooled, ref, 0)
+	return KernelPerf{
+		N:          n,
+		WallS:      time.Since(start).Seconds(),
+		NaiveGFS:   flops / naiveS / 1e9,
+		TiledGFS:   flops / tiledS / 1e9,
+		PooledGFS:  flops / pooledS / 1e9,
+		BatchedGFS: batchedFLOPs / batchedS / 1e9,
+		F32GFS:     flops / f32S / 1e9,
+		TiledX:     naiveS / tiledS,
+		PooledX:    naiveS / pooledS,
+		BitExact:   bitexact,
+	}, nil
+}

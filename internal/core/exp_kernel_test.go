@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// TestKernelBenchmark checks the perf-trajectory sample the CI bench step
+// records for X13: finite per-tier throughput, speedups consistent with
+// the tier throughputs, and — the part that makes the numbers count — the
+// fast float64 tiers bit-identical to the serial reference.
+func TestKernelBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("X13 bench sample skipped in -short mode")
+	}
+	perf, err := KernelBenchmark(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.N != 256 {
+		t.Fatalf("quick scale ran n=%d, want 256", perf.N)
+	}
+	if perf.WallS <= 0 || perf.NaiveGFS <= 0 || perf.TiledGFS <= 0 ||
+		perf.PooledGFS <= 0 || perf.BatchedGFS <= 0 || perf.F32GFS <= 0 {
+		t.Fatalf("degenerate sample %+v", perf)
+	}
+	if got := perf.TiledGFS / perf.NaiveGFS; got < perf.TiledX*0.99 || got > perf.TiledX*1.01 {
+		t.Fatalf("tiled speedup %g inconsistent with throughputs %g/%g", perf.TiledX, perf.TiledGFS, perf.NaiveGFS)
+	}
+	if got := perf.PooledGFS / perf.NaiveGFS; got < perf.PooledX*0.99 || got > perf.PooledX*1.01 {
+		t.Fatalf("pooled speedup %g inconsistent with throughputs %g/%g", perf.PooledX, perf.PooledGFS, perf.NaiveGFS)
+	}
+	if !perf.BitExact {
+		t.Fatal("fast float64 tiers diverged from the serial reference")
+	}
+}

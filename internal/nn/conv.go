@@ -19,6 +19,12 @@ type Conv2D struct {
 
 	cols  *tensor.Tensor // cached im2col matrix
 	batch int
+
+	// scratch is the inference-path im2col buffer, reused across eval
+	// forwards of the same batch shape so steady-state serving allocates
+	// only the layer output. The training path keeps its own fresh matrix
+	// (it must survive until Backward).
+	scratch *tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-initialised kernels.
@@ -40,11 +46,14 @@ func (c *Conv2D) Name() string { return c.name }
 // [N, OutC, OutH, OutW].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
-	cols := tensor.Im2Col(x, c.Geom) // [N*OH*OW, InC*KH*KW]
+	var cols *tensor.Tensor // [N*OH*OW, InC*KH*KW]
 	if train {
+		cols = tensor.Im2Col(x, c.Geom)
 		c.cols = cols
 		c.batch = n
 	} else {
+		c.scratch = tensor.Im2ColInto(c.scratch, x, c.Geom)
+		cols = c.scratch
 		c.cols = nil
 	}
 	// [N*OH*OW, OutC] = cols · Wᵀ

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dlsys/internal/tensor"
+)
+
+// The inference path must reuse its im2col scratch across eval forwards of
+// the same shape and produce exactly the training-path activations.
+func TestConv2DInferenceScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := tensor.ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	c := NewConv2D(rng, "conv", g, 4)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 8, 8)
+
+	train := c.Forward(x, true)
+	eval1 := c.Forward(x, false)
+	if !tensor.Equal(train, eval1, 0) {
+		t.Fatal("eval forward diverges from train forward")
+	}
+	buf := c.scratch
+	if buf == nil {
+		t.Fatal("eval forward did not populate the scratch buffer")
+	}
+	eval2 := c.Forward(x, false)
+	if c.scratch != buf {
+		t.Fatal("second eval forward reallocated the scratch buffer")
+	}
+	if !tensor.Equal(eval1, eval2, 0) {
+		t.Fatal("repeated eval forward changed the output")
+	}
+	// A different batch size reshapes the scratch instead of corrupting it.
+	y := tensor.RandNormal(rng, 0, 1, 3, 1, 8, 8)
+	eval3 := c.Forward(y, false)
+	if eval3.Dim(0) != 3 {
+		t.Fatalf("batch-3 output shape %v", eval3.Shape())
+	}
+}

@@ -1,0 +1,115 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Gram-matrix distance path (n >= krumGramWorkers) must agree with
+// direct pairwise differences within floating-point reassociation error,
+// and must not change Krum's selections on a clearly-separated fleet.
+
+func directD2(vecs [][]float64) [][]float64 {
+	n := len(vecs)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			for c := range vecs[i] {
+				diff := vecs[i][c] - vecs[j][c]
+				s += diff * diff
+			}
+			d2[i][j], d2[j][i] = s, s
+		}
+	}
+	return d2
+}
+
+func TestPairwiseD2GramMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, d = 32, 64 // n >= krumGramWorkers triggers the Gram path
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, d)
+		for c := range vecs[i] {
+			vecs[i][c] = rng.NormFloat64()
+		}
+	}
+	gram := pairwiseD2(vecs)
+	direct := directD2(vecs)
+	for i := 0; i < n; i++ {
+		if gram[i][i] != 0 {
+			t.Fatalf("diagonal %d nonzero: %g", i, gram[i][i])
+		}
+		for j := 0; j < n; j++ {
+			diff := math.Abs(gram[i][j] - direct[i][j])
+			scale := 1 + direct[i][j]
+			if diff > 1e-9*scale {
+				t.Fatalf("d2[%d][%d]: gram %g vs direct %g", i, j, gram[i][j], direct[i][j])
+			}
+		}
+	}
+}
+
+func TestKrumGramPathSelectsHonest(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, d, f = 32, 16, 4
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, d)
+		for c := range vecs[i] {
+			vecs[i][c] = 1 + 0.01*rng.NormFloat64()
+		}
+	}
+	// f Byzantine workers push far away.
+	for i := 0; i < f; i++ {
+		for c := range vecs[i] {
+			vecs[i][c] = 100
+		}
+	}
+	out := make([]float64, d)
+	Krum{F: f}.Aggregate(out, vecs)
+	for c, v := range out {
+		if math.Abs(v-1) > 0.1 {
+			t.Fatalf("Krum over the Gram path picked a poisoned vector: out[%d]=%g", c, v)
+		}
+	}
+	// Below the Gram threshold the original arithmetic must be untouched:
+	// an 8-worker order computed now must equal the direct computation.
+	small := vecs[:8]
+	got := krumOrder(small, 1)
+	direct := directD2(small)
+	scores := make([]float64, 8)
+	for i := range small {
+		neigh := make([]float64, 0, 7)
+		for j := range small {
+			if j != i {
+				neigh = append(neigh, direct[i][j])
+			}
+		}
+		// n-f-2 = 5 nearest neighbours
+		for a := range neigh {
+			for b := a + 1; b < len(neigh); b++ {
+				if neigh[b] < neigh[a] {
+					neigh[a], neigh[b] = neigh[b], neigh[a]
+				}
+			}
+		}
+		for _, x := range neigh[:5] {
+			scores[i] += x
+		}
+	}
+	best := 0
+	for i, s := range scores {
+		if s < scores[best] {
+			best = i
+		}
+	}
+	if got[0] != best {
+		t.Fatalf("small-fleet Krum order head %d != direct computation %d", got[0], best)
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"dlsys/internal/tensor"
 )
 
 // Aggregator combines per-worker vectors into one update. Implementations
@@ -220,21 +222,7 @@ func krumOrder(vecs [][]float64, f int) []int {
 	if m > n-1 {
 		m = n - 1
 	}
-	d2 := make([][]float64, n)
-	for i := range d2 {
-		d2[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			var s float64
-			vi, vj := vecs[i], vecs[j]
-			for c := range vi {
-				diff := vi[c] - vj[c]
-				s += diff * diff
-			}
-			d2[i][j], d2[j][i] = s, s
-		}
-	}
+	d2 := pairwiseD2(vecs)
 	scores := make([]float64, n)
 	neigh := make([]float64, 0, n-1)
 	for i := 0; i < n; i++ {
@@ -257,6 +245,57 @@ func krumOrder(vecs [][]float64, f int) []int {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
 	return order
+}
+
+// krumGramWorkers is the fleet size above which the pairwise distance
+// matrix switches from direct differences to the Gram-matrix identity
+// ‖vi−vj‖² = ‖vi‖² + ‖vj‖² − 2⟨vi,vj⟩ computed through one fused
+// V·Vᵀ product on the tensor engine. The identity reassociates the
+// arithmetic (it is not bit-identical to direct differences, only equal
+// within rounding), so small historical fleets — X9 runs 8 workers —
+// keep the exact original computation, and the O(n²d) GEMM only takes
+// over where it pays.
+const krumGramWorkers = 24
+
+// pairwiseD2 returns the symmetric matrix of squared Euclidean distances
+// between all vector pairs, with zeros on the diagonal.
+func pairwiseD2(vecs [][]float64) [][]float64 {
+	n := len(vecs)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	if n >= krumGramWorkers && len(vecs[0]) > 0 {
+		d := len(vecs[0])
+		v := tensor.New(n, d)
+		for i, row := range vecs {
+			copy(v.Data[i*d:(i+1)*d], row)
+		}
+		g := tensor.MatMulTransB(v, v)
+		for i := 0; i < n; i++ {
+			gii := g.Data[i*n+i]
+			for j := i + 1; j < n; j++ {
+				s := gii + g.Data[j*n+j] - 2*g.Data[i*n+j]
+				if s < 0 {
+					s = 0 // cancellation can push a tiny distance negative
+				}
+				d2[i][j], d2[j][i] = s, s
+			}
+		}
+		return d2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			vi, vj := vecs[i], vecs[j]
+			for c := range vi {
+				diff := vi[c] - vj[c]
+				s += diff * diff
+			}
+			d2[i][j], d2[j][i] = s, s
+		}
+	}
+	return d2
 }
 
 // NormClip rescales every vector whose norm exceeds Factor times the MEAN

@@ -267,7 +267,7 @@ type Server struct {
 	latHead int
 	latN    int
 
-	preds [4][]int // per-tier predictions over the eval rows
+	preds [numTiers][]int // per-tier predictions over the eval rows
 
 	obs *serveObs
 
@@ -314,12 +314,14 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.EvalX != nil {
+		var reps [numTiers]Predictor
 		for t := TierFull; t < numTiers; t++ {
 			for _, ri := range s.byTier[t] {
-				s.preds[t] = cfg.Replicas[ri].Variant.Model.Predict(cfg.EvalX)
+				reps[t] = cfg.Replicas[ri].Variant.Model
 				break // one variant per tier is enough
 			}
 		}
+		s.preds = tierPredictions(reps, cfg.EvalX)
 	}
 	return s, nil
 }

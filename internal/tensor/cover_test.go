@@ -2,7 +2,9 @@ package tensor
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -121,6 +123,63 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	matMulRows(a, b, ser, 0, 256)
 	if !Equal(par, ser, 0) {
 		t.Fatal("parallel GEMM diverges from serial")
+	}
+}
+
+// The determinism regression: the pooled kernel must stay bit-identical
+// to the serial reference regardless of how many workers the pool can
+// recruit. Run under -race in CI, this also shakes out data races in the
+// persistent pool's chunk self-scheduling.
+func TestMatMulDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := RandNormal(rng, 0, 1, 256, 256)
+	b := RandNormal(rng, 0, 1, 256, 256)
+	ser := New(256, 256)
+	matMulRows(a, b, ser, 0, 256)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := MatMul(a, b); !Equal(got, ser, 0) {
+			t.Fatalf("GOMAXPROCS=%d: MatMul diverges from serial reference", procs)
+		}
+		ab := New(2, 256, 256)
+		bb := New(2, 256, 256)
+		copy(ab.Data[:256*256], a.Data)
+		copy(ab.Data[256*256:], a.Data)
+		copy(bb.Data[:256*256], b.Data)
+		copy(bb.Data[256*256:], b.Data)
+		bout := BatMul(ab, bb)
+		for s := 0; s < 2; s++ {
+			for i, v := range bout.Data[s*256*256 : (s+1)*256*256] {
+				if v != ser.Data[i] {
+					t.Fatalf("GOMAXPROCS=%d: BatMul slice %d diverges at %d", procs, s, i)
+				}
+			}
+		}
+	}
+}
+
+// parallelRows must not spawn chunks for row counts below the worker
+// target — the heuristic fix: a tiny m above the FLOP threshold used to
+// fan out anyway.
+func TestParallelRowsSkipsSpawnForTinyM(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(8)
+	calls := 0
+	parallelRows(3, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 3 {
+			t.Fatalf("expected one serial chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("m < workers should run serially in one call, got %d", calls)
+	}
+	// Chunk count never exceeds the worker target.
+	var chunks atomic.Int32
+	parallelRows(1000, func(lo, hi int) { chunks.Add(1) })
+	if c := chunks.Load(); c > 8 {
+		t.Fatalf("chunks %d exceed GOMAXPROCS", c)
 	}
 }
 

@@ -1,0 +1,302 @@
+package tensor
+
+import "sync"
+
+// This file is the f32 tier of the kernel hierarchy (see gemm.go): an
+// opt-in float32 storage mode for serving-side inference, where halving
+// memory traffic matters more than the last bits of precision. The kernel
+// structure mirrors the float64 engine — packed gemmNR-wide strips, a
+// register micro-kernel sweeping the full k extent with one accumulator
+// per output element — but accumulates in float32, so results track the
+// float64 reference within bounded ULP error rather than bit-exactly.
+
+// Tensor32 is a dense row-major float32 tensor. It is deliberately
+// minimal: the serving path needs construction, conversion, matrix
+// multiply, bias add, ReLU, and argmax — training stays float64.
+type Tensor32 struct {
+	shape []int
+	Data  []float32
+}
+
+// New32 allocates a zeroed float32 tensor with the given shape.
+func New32(shape ...int) *Tensor32 {
+	size := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(errf("New32", "negative dimension in %v", shape))
+		}
+		size *= d
+	}
+	return &Tensor32{shape: append([]int(nil), shape...), Data: make([]float32, size)}
+}
+
+// Shape returns the tensor's dimensions. The caller must not mutate it.
+func (t *Tensor32) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor32) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor32) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total element count.
+func (t *Tensor32) Size() int { return len(t.Data) }
+
+// Row returns row i of a rank-2 tensor as a shared slice.
+func (t *Tensor32) Row(i int) []float32 {
+	n := t.shape[1]
+	return t.Data[i*n : (i+1)*n]
+}
+
+// ArgMaxRow returns the index of the maximum value in row i of a rank-2
+// tensor, breaking ties toward the lower index (same contract as Tensor).
+func (t *Tensor32) ArgMaxRow(i int) int {
+	row := t.Row(i)
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// ToFloat32 converts a float64 tensor to float32 storage, rounding each
+// element once.
+func ToFloat32(t *Tensor) *Tensor32 {
+	out := New32(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// ToFloat64 widens back to float64 storage (exact: every float32 is
+// representable as a float64).
+func (t *Tensor32) ToFloat64() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// scratchPool32 recycles float32 packing buffers, like scratchPool.
+var scratchPool32 sync.Pool
+
+func getScratch32(n int) []float32 {
+	if v := scratchPool32.Get(); v != nil {
+		if s := v.(*[]float32); cap(*s) >= n {
+			return (*s)[:n]
+		}
+	}
+	return make([]float32, n)
+}
+
+func putScratch32(s []float32) {
+	scratchPool32.Put(&s)
+}
+
+// MatMul32 returns the float32 matrix product (m×k)·(k×n) → m×n.
+func MatMul32(a, b *Tensor32) *Tensor32 {
+	out, err := MatMul32Checked(a, b)
+	must(err)
+	return out
+}
+
+// MatMul32Checked is MatMul32 returning an error instead of panicking on a
+// shape mismatch. Large products run the packed tiled kernel; small ones
+// the i-k-j reference loop. Both accumulate each output element in float32
+// over ascending k, so the two paths are bit-identical to each other and
+// within bounded ULP error of the float64 reference.
+func MatMul32Checked(a, b *Tensor32) (*Tensor32, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, errf("MatMul32", "requires rank-2 operands, got %v and %v", a.shape, b.shape)
+	}
+	if a.shape[1] != b.shape[0] {
+		return nil, errf("MatMul32", "inner dimension mismatch %v · %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New32(m, n)
+	if usePacked(m, k, n) {
+		bp := getScratch32(k * n)
+		packB32(b, bp)
+		parallelRowsAligned(m, gemmMR, func(lo, hi int) {
+			gemmPacked32(a.Data, k, n, bp, out.Data, lo, hi)
+		})
+		putScratch32(bp)
+		return out, nil
+	}
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// packB32 is packB for float32 operands: gemmNR-wide column strips,
+// p-major.
+func packB32(b *Tensor32, bp []float32) {
+	k, n := b.shape[0], b.shape[1]
+	for js := 0; js < n; js += gemmNR {
+		w := n - js
+		if w > gemmNR {
+			w = gemmNR
+		}
+		dst := bp[js*k : js*k+k*w]
+		for p := 0; p < k; p++ {
+			copy(dst[p*w:p*w+w], b.Data[p*n+js:p*n+js+w])
+		}
+	}
+}
+
+// gemmPacked32 is gemmPacked for float32: same blocking, scalar 4x4
+// micro-kernel (float32 fits the register budget comfortably).
+func gemmPacked32(aData []float32, k, n int, bp, out []float32, lo, hi int) {
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := n - jc
+		if nc > gemmNC {
+			nc = gemmNC
+		}
+		for ic := lo; ic < hi; ic += gemmMC {
+			mc := hi - ic
+			if mc > gemmMC {
+				mc = gemmMC
+			}
+			for js := jc; js < jc+nc; js += gemmNR {
+				w := n - js
+				if w > gemmNR {
+					w = gemmNR
+				}
+				strip := bp[js*k : js*k+k*w]
+				i := ic
+				if w == gemmNR {
+					for ; i+gemmMR <= ic+mc; i += gemmMR {
+						micro4x4f32(aData[i*k:(i+gemmMR)*k], k, strip, out[i*n+js:], n)
+					}
+				}
+				for i < ic+mc {
+					r := ic + mc - i
+					if r > gemmMR {
+						r = gemmMR
+					}
+					microEdge32(aData[i*k:(i+r)*k], k, r, strip, w, out[i*n+js:], n)
+					i += r
+				}
+			}
+		}
+	}
+}
+
+func micro4x4f32(a []float32, k int, strip, out []float32, n int) {
+	a0, a1, a2, a3 := a[:k], a[k:2*k], a[2*k:3*k], a[3*k:4*k]
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	sp := strip
+	for p := 0; p < k; p++ {
+		b0, b1, b2, b3 := sp[0], sp[1], sp[2], sp[3]
+		sp = sp[4:]
+		v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
+		c00 += v0 * b0
+		c01 += v0 * b1
+		c02 += v0 * b2
+		c03 += v0 * b3
+		c10 += v1 * b0
+		c11 += v1 * b1
+		c12 += v1 * b2
+		c13 += v1 * b3
+		c20 += v2 * b0
+		c21 += v2 * b1
+		c22 += v2 * b2
+		c23 += v2 * b3
+		c30 += v3 * b0
+		c31 += v3 * b1
+		c32 += v3 * b2
+		c33 += v3 * b3
+	}
+	o := out[:4]
+	o[0], o[1], o[2], o[3] = c00, c01, c02, c03
+	o = out[n : n+4]
+	o[0], o[1], o[2], o[3] = c10, c11, c12, c13
+	o = out[2*n : 2*n+4]
+	o[0], o[1], o[2], o[3] = c20, c21, c22, c23
+	o = out[3*n : 3*n+4]
+	o[0], o[1], o[2], o[3] = c30, c31, c32, c33
+}
+
+func microEdge32(a []float32, k, r int, strip []float32, w int, out []float32, n int) {
+	var acc [gemmMR * gemmNR]float32
+	for p := 0; p < k; p++ {
+		bq := strip[p*w : p*w+w]
+		for ir := 0; ir < r; ir++ {
+			v := a[ir*k+p]
+			ac := acc[ir*gemmNR : ir*gemmNR+w]
+			for jr, bv := range bq {
+				ac[jr] += v * bv
+			}
+		}
+	}
+	for ir := 0; ir < r; ir++ {
+		copy(out[ir*n:ir*n+w], acc[ir*gemmNR:ir*gemmNR+w])
+	}
+}
+
+// AddRowVector32InPlace adds a 1×n row vector to every row of an m×n
+// tensor in place (the inference bias add).
+func AddRowVector32InPlace(t, v *Tensor32) {
+	if t.Rank() != 2 || v.Rank() != 2 || v.shape[0] != 1 || v.shape[1] != t.shape[1] {
+		panic(errf("AddRowVector32", "shapes %v, %v", t.shape, v.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	for i := 0; i < m; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+}
+
+// ReLU32InPlace clamps negative elements to zero in place.
+func ReLU32InPlace(t *Tensor32) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// Equal32 reports whether t and u have the same shape and all elements
+// within tol of each other.
+func Equal32(t, u *Tensor32, tol float32) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	for i := range t.Data {
+		d := t.Data[i] - u.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

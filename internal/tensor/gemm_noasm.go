@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the pure-Go micro-kernels; hasAVX being a false
+// constant lets the compiler drop the assembly call sites entirely.
+const hasAVX = false
+
+func gemm8x4AVX(a *float64, k int, strip *float64, out *float64, n int) {
+	panic(errf("MatMul", "assembly kernel unavailable on this architecture"))
+}

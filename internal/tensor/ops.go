@@ -72,26 +72,29 @@ func (t *Tensor) ApplyInPlace(f func(float64) float64) {
 }
 
 // MatMul returns the matrix product of two rank-2 tensors: (m×k)·(k×n) → m×n.
-// The inner loop is ordered i-k-j so the innermost traversal is sequential
-// over both the output row and the right operand row, which is
-// cache-friendly for the row-major layout. Products large enough to
-// amortise goroutine overhead are partitioned across CPUs by output row —
-// the partitioning is deterministic, so results are bit-identical to the
-// serial path.
+// Small products run the serial reference kernel; products worth blocking
+// run the cache-tiled packed kernel (gemm.go), partitioned across the
+// persistent worker pool once they cross the parallel threshold. Every
+// tier accumulates each output element in the same ascending-k order, so
+// for finite inputs all paths are bit-identical to the reference kernel.
 func MatMul(a, b *Tensor) *Tensor { return mustT(MatMulChecked(a, b)) }
 
 // MatMulChecked is MatMul returning an error instead of panicking on a
 // shape mismatch.
 func MatMulChecked(a, b *Tensor) (*Tensor, error) {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, errf("MatMul", "requires rank-2 operands, got %v and %v", a.shape, b.shape)
+	out, err := matMulNew("MatMul", a, b)
+	if err != nil {
+		return nil, err
 	}
 	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, errf("MatMul", "inner dimension mismatch %v · %v", a.shape, b.shape)
+	n := b.shape[1]
+	if usePacked(m, k, n) {
+		bp := getScratch(k * n)
+		packB(b, bp)
+		gemmAuto(a.Data, m, k, n, bp, out.Data)
+		putScratch(bp)
+		return out, nil
 	}
-	out := New(m, n)
 	if int64(m)*int64(n)*int64(k) >= parallelFLOPThreshold && m >= 2 {
 		parallelRows(m, func(lo, hi int) {
 			matMulRows(a, b, out, lo, hi)
@@ -102,7 +105,9 @@ func MatMulChecked(a, b *Tensor) (*Tensor, error) {
 	return out, nil
 }
 
-// matMulRows computes output rows [lo, hi) of a·b into out.
+// matMulRows computes output rows [lo, hi) of a·b into out. It is the
+// reference kernel of the GEMM hierarchy (see gemm.go): i-k-j order, one
+// memory accumulator per output element, ascending k.
 func matMulRows(a, b, out *Tensor, lo, hi int) {
 	k, n := a.shape[1], b.shape[1]
 	for i := lo; i < hi; i++ {
@@ -122,7 +127,10 @@ func matMulRows(a, b, out *Tensor, lo, hi int) {
 }
 
 // MatMulTransB returns a · bᵀ for rank-2 tensors: (m×k)·(n×k)ᵀ → m×n.
-// Used by backward passes to avoid materialising transposes.
+// Used by backward passes to avoid materialising transposes. Large
+// products run fused through the tiled engine: the packing pass reads b's
+// rows directly (they are already the columns the kernel wants), so the
+// transpose is free.
 func MatMulTransB(a, b *Tensor) *Tensor { return mustT(MatMulTransBChecked(a, b)) }
 
 // MatMulTransBChecked is MatMulTransB returning an error instead of
@@ -137,6 +145,13 @@ func MatMulTransBChecked(a, b *Tensor) (*Tensor, error) {
 		return nil, errf("MatMulTransB", "inner dimension mismatch %v · %vᵀ", a.shape, b.shape)
 	}
 	out := New(m, n)
+	if usePacked(m, k, n) {
+		bp := getScratch(k * n)
+		packBTrans(b, bp)
+		gemmAuto(a.Data, m, k, n, bp, out.Data)
+		putScratch(bp)
+		return out, nil
+	}
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
@@ -153,6 +168,9 @@ func MatMulTransBChecked(a, b *Tensor) (*Tensor, error) {
 }
 
 // MatMulTransA returns aᵀ · b for rank-2 tensors: (k×m)ᵀ·(k×n) → m×n.
+// Large products run through the tiled engine after materialising aᵀ (an
+// exact element move costing O(k·m), negligible against the O(m·k·n)
+// product it unlocks).
 func MatMulTransA(a, b *Tensor) *Tensor { return mustT(MatMulTransAChecked(a, b)) }
 
 // MatMulTransAChecked is MatMulTransA returning an error instead of
@@ -165,6 +183,9 @@ func MatMulTransAChecked(a, b *Tensor) (*Tensor, error) {
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		return nil, errf("MatMulTransA", "inner dimension mismatch %vᵀ · %v", a.shape, b.shape)
+	}
+	if usePacked(m, k, n) {
+		return MatMulChecked(Transpose(a), b)
 	}
 	out := New(m, n)
 	for p := 0; p < k; p++ {

@@ -3,37 +3,107 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelFLOPThreshold is the multiply-add count below which spawning
-// goroutines costs more than it saves.
+// parallelFLOPThreshold is the multiply-add count below which parallelism
+// costs more than it saves, even with the persistent pool.
 const parallelFLOPThreshold = 1 << 20 // ~1M fused ops
 
-// parallelRows splits [0, m) into one contiguous chunk per worker and runs
-// fn on each chunk concurrently. Chunk boundaries depend only on m and the
-// worker count, and each output row is written by exactly one goroutine, so
-// results are deterministic.
-func parallelRows(m int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+// The persistent worker pool. Workers are spawned lazily up to
+// GOMAXPROCS-1 (the submitting goroutine always participates, so the pool
+// only ever needs helpers) and then parked on the task channel for the
+// life of the process — the per-call goroutine spawn and its scheduler
+// churn are gone from the GEMM hot path. Tasks are self-scheduling: each
+// submitted helper drains chunks from a shared atomic counter, so an idle
+// worker steals whatever chunks a slow one has not claimed yet. Chunk
+// boundaries depend only on the row count and worker target, and every
+// output row is written by exactly one task, so results are deterministic
+// regardless of which worker runs which chunk.
+var (
+	poolTasks = make(chan func(), 256)
+	poolMu    sync.Mutex
+	poolSize  int
+)
+
+// poolEnsure grows the pool to at least n parked workers.
+func poolEnsure(n int) {
+	if n <= 0 {
+		return
 	}
-	if workers <= 1 {
+	poolMu.Lock()
+	for ; poolSize < n; poolSize++ {
+		go func() {
+			for f := range poolTasks {
+				f()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// parallelRows splits [0, m) into contiguous chunks and runs fn on each,
+// using the persistent pool. When m is smaller than the worker target the
+// call runs serially — spawning cannot pay for itself on fewer rows than
+// workers.
+func parallelRows(m int, fn func(lo, hi int)) { parallelRowsAligned(m, 1, fn) }
+
+// parallelRowsAligned is parallelRows with chunk boundaries rounded up to a
+// multiple of align (except the final chunk), so blocked kernels keep full
+// micro-tiles inside one chunk. Chunk count is capped at the worker target
+// (GOMAXPROCS), and the caller always executes chunks alongside the pool:
+// if every pool worker is busy — including the nested-parallelism case
+// where fn itself reaches this function — the caller simply drains the
+// whole range itself, so the pool cannot deadlock.
+func parallelRowsAligned(m, align int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || m < workers || m < align*2 {
+		if m > 0 {
+			fn(0, m)
+		}
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	if r := chunk % align; r != 0 {
+		chunk += align - r
+	}
+	nchunks := (m + chunk - 1) / chunk
+	if nchunks <= 1 {
 		fn(0, m)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+	poolEnsure(workers - 1)
+
+	var next atomic.Int64
+	work := func() {
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= nchunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
 			fn(lo, hi)
-		}(lo, hi)
+		}
 	}
+	var wg sync.WaitGroup
+	for i := 0; i < nchunks-1; i++ {
+		wg.Add(1)
+		task := func() { defer wg.Done(); work() }
+		submitted := false
+		select {
+		case poolTasks <- task:
+			submitted = true
+		default:
+		}
+		if !submitted {
+			wg.Done()
+			break
+		}
+	}
+	work()
 	wg.Wait()
 }
