@@ -85,7 +85,7 @@ func BenchmarkA7(b *testing.B) { benchExperiment(b, "A7") }
 func BenchmarkA8(b *testing.B) { benchExperiment(b, "A8") }
 func BenchmarkA9(b *testing.B) { benchExperiment(b, "A9") }
 
-// Extensions X1..X12 — cited systems beyond the explicit claims.
+// Extensions X1..X14 — cited systems beyond the explicit claims.
 func BenchmarkX1(b *testing.B)  { benchExperiment(b, "X1") }
 func BenchmarkX2(b *testing.B)  { benchExperiment(b, "X2") }
 func BenchmarkX3(b *testing.B)  { benchExperiment(b, "X3") }
@@ -98,6 +98,7 @@ func BenchmarkX9(b *testing.B)  { benchExperiment(b, "X9") }
 func BenchmarkX10(b *testing.B) { benchExperiment(b, "X10") }
 func BenchmarkX11(b *testing.B) { benchExperiment(b, "X11") }
 func BenchmarkX12(b *testing.B) { benchExperiment(b, "X12") }
+func BenchmarkX14(b *testing.B) { benchExperiment(b, "X14") }
 
 // ---- micro-benchmarks for the hot paths underlying the experiments ----
 
@@ -195,8 +196,8 @@ func BenchmarkHuffmanEncode(b *testing.B) {
 // Sanity checks that the facade works; keeps the root package tested, not
 // only benchmarked.
 func TestFacade(t *testing.T) {
-	if got := len(Experiments()); got != 53 {
-		t.Fatalf("Experiments() returned %d, want 53 (32 claims + 9 ablations + 12 extensions)", got)
+	if got := len(Experiments()); got != 54 {
+		t.Fatalf("Experiments() returned %d, want 54 (32 claims + 9 ablations + 13 extensions)", got)
 	}
 	if got := len(Techniques()); got < 30 {
 		t.Fatalf("Techniques() returned %d, want >=30", got)

@@ -4,12 +4,13 @@
 //
 //	dlsys list                       # list all experiments with their claims
 //	dlsys techniques                 # print the tradeoff framework
-//	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X12)
+//	dlsys run E13 [-full]            # run one experiment (E1..E32, A1..A9, X1..X12, X14)
 //	dlsys run all [-full]            # run every experiment in order
-//	dlsys bench [x10|x11|x12|x13] [-full] [-o f]
+//	dlsys bench [x10|x11|x12|x13|x14] [-full] [-o f]
 //	                                 # time the X10 chaos day, the X11 live-index
-//	                                 # cell, the X12 elastic-topology cell, or the
-//	                                 # X13 tensor-kernel hierarchy, and emit a
+//	                                 # cell, the X12 elastic-topology cell, the
+//	                                 # X13 tensor-kernel hierarchy, or the X14
+//	                                 # serving-fleet overload day, and emit a
 //	                                 # JSON perf sample
 package main
 
@@ -44,7 +45,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X12|all> [-full] | dlsys bench [x10|x11|x12|x13] [-full] [-o file] [-pr n] [-date d]")
+	fmt.Fprintln(os.Stderr, "usage: dlsys list | dlsys techniques | dlsys run <E1..E32|A1..A9|X1..X14|all> [-full] | dlsys bench [x10|x11|x12|x13|x14] [-full] [-o file] [-pr n] [-date d]")
 }
 
 func list() {
@@ -94,8 +95,9 @@ func run(args []string) {
 
 // bench times one composed simulation — the X10 production day (default),
 // the hardest X11 live-index cell, the hardest X12 elastic-topology cell,
-// or the X13 tensor-kernel hierarchy — and emits a JSON perf sample, the
-// per-PR trajectory point CI records (BENCH_X10.json … BENCH_X13.json).
+// the X13 tensor-kernel hierarchy, or the X14 serving-fleet overload day —
+// and emits a JSON perf sample, the per-PR trajectory point CI records
+// (BENCH_X10.json … BENCH_X14.json).
 func bench(args []string) {
 	target := "x10"
 	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
@@ -155,8 +157,18 @@ func bench(args []string) {
 			stamp
 			dlsys.KernelPerf
 		}{stamp{*pr, *date}, perf}
+	case "x14":
+		perf, err := dlsys.BenchmarkFleet(*full)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec = struct {
+			stamp
+			dlsys.FleetPerf
+		}{stamp{*pr, *date}, perf}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11, x12, x13)\n", target)
+		fmt.Fprintf(os.Stderr, "unknown bench target %q (have x10, x11, x12, x13, x14)\n", target)
 		os.Exit(2)
 	}
 	buf, err := json.MarshalIndent(rec, "", "  ")

@@ -40,8 +40,8 @@
 //
 // The tutorial publishes no tables or figures; its claims are reproduced
 // as 32 registered experiments (E1-E32), each regenerating a results
-// table, plus nine design-choice ablations (A1-A9) and twelve extension
-// studies of cited systems (X1-X12). This package is the facade: list
+// table, plus nine design-choice ablations (A1-A9) and the extension
+// studies of cited systems (X1-X12, X14). This package is the facade: list
 // experiments, run them, and render their tables. See DESIGN.md for the
 // system inventory and EXPERIMENTS.md for expected-vs-measured shapes.
 package dlsys
@@ -64,7 +64,7 @@ type Experiment = core.Experiment
 type Technique = core.Technique
 
 // Experiments returns all registered experiments: the claim reproductions
-// E1..E32, then the ablations A1..A9, then the extensions X1..X12.
+// E1..E32, then the ablations A1..A9, then the extensions X1..X14.
 func Experiments() []Experiment { return core.All() }
 
 // ClaimExperiments returns only E1..E32, the tutorial-claim reproductions.
@@ -73,7 +73,7 @@ func ClaimExperiments() []Experiment { return core.Claims() }
 // AblationExperiments returns only A1..A9, the design-choice studies.
 func AblationExperiments() []Experiment { return core.Ablations() }
 
-// ExtensionExperiments returns only X1..X12: cited systems implemented
+// ExtensionExperiments returns only X1..X14: cited systems implemented
 // beyond the tutorial's explicit tradeoff claims.
 func ExtensionExperiments() []Experiment { return core.Extensions() }
 
@@ -147,6 +147,23 @@ func BenchmarkKernels(full bool) (KernelPerf, error) {
 	return core.KernelBenchmark(scale)
 }
 
+// FleetPerf is the X14 event-driven serving-fleet throughput sample
+// (re-exported from core): wall time, simulated-request throughput, and
+// kernel-event throughput for one full-control-plane overload day.
+type FleetPerf = core.FleetPerf
+
+// BenchmarkFleet times one X14 overload day (>=1.2M requests at full
+// scale through the event-driven fleet with the whole control plane on)
+// and returns the perf-trajectory sample CI records per PR
+// (BENCH_X14.json).
+func BenchmarkFleet(full bool) (FleetPerf, error) {
+	scale := core.Quick
+	if full {
+		scale = core.Full
+	}
+	return core.FleetBenchmark(scale)
+}
+
 // PipelineSpec declares a train/compress/deploy pipeline (re-exported from
 // pipeline); zero-valued stages are skipped.
 type PipelineSpec = pipeline.Spec
@@ -163,13 +180,13 @@ func ComparePipelines(specs ...PipelineSpec) ([]PipelineLedger, error) {
 	return pipeline.Compare(specs...)
 }
 
-// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X12").
+// RunExperiment executes one experiment by ID ("E1".."E32", "A1".."A9", "X1".."X14").
 // With full set, problem sizes match the documented tables; otherwise a
 // quick scale keeps runs in the low seconds.
 func RunExperiment(id string, full bool) (*Table, error) {
 	e, ok := core.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X12)", id)
+		return nil, fmt.Errorf("dlsys: unknown experiment %q (have E1..E32, A1..A9, X1..X12, X14)", id)
 	}
 	scale := core.Quick
 	if full {

@@ -4,18 +4,20 @@ import "testing"
 
 // TestX10ProductionDayClaims pins the X10 acceptance criteria: the
 // composed production day — guarded Byzantine-robust training, the
-// serving fleet, and the online learned-index engine on one simulation
-// kernel, under the scheduled chaos of crashes, stragglers, a flash
-// crowd, a Byzantine coalition, a numerical-fault burst, and a
-// corrupted-insert burst — holds all five global invariants: availability
-// above the floor with the load spike visibly absorbed by tier
-// degradation, no silent training divergence with guard and quarantine
-// incidents reconciling with the schedule, exact cross-subsystem
-// counter-vs-ledger reconciliation on the shared registry, bit-identical
-// metric/trace/ledger/kernel/index fingerprints across two runs, and the
-// live index riding its fallback ladder through the corrupted burst
-// without dropping a query. Every check is on deterministic simulated
-// quantities, so one run suffices.
+// serving fleet, the event-driven multi-tenant fleet, and the online
+// learned-index engine on one simulation kernel, under the scheduled
+// chaos of crashes, stragglers, flash crowds, a Byzantine coalition, a
+// numerical-fault burst, a corrupted-insert burst, and a tenant retry
+// storm — holds all six global invariants: availability above the floor
+// with the load spike visibly absorbed by tier degradation, no silent
+// training divergence with guard and quarantine incidents reconciling
+// with the schedule, exact cross-subsystem counter-vs-ledger
+// reconciliation on the shared registry, bit-identical
+// metric/trace/ledger/kernel/index/fleet fingerprints across two runs,
+// the live index riding its fallback ladder through the corrupted burst
+// without dropping a query, and every fleet tenant holding its
+// availability floor through the retry storm. Every check is on
+// deterministic simulated quantities, so one run suffices.
 func TestX10ProductionDayClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("X10 composed day skipped in -short mode")
@@ -35,7 +37,7 @@ func TestX10ProductionDayClaims(t *testing.T) {
 		"timeline", "chaos-observed",
 		"invariant-1-availability", "invariant-2-integrity",
 		"invariant-3-reconcile", "invariant-4-replay",
-		"invariant-5-index",
+		"invariant-5-index", "invariant-6-tenants",
 	}
 	if len(tab.Rows) != len(wantChecks) {
 		t.Fatalf("X10 produced %d rows, want %d: %v", len(tab.Rows), len(wantChecks), tab.Rows)

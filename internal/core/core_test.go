@@ -33,8 +33,8 @@ func TestRegistryComplete(t *testing.T) {
 		}
 	}
 	ext := Extensions()
-	if len(ext) != 12 {
-		t.Fatalf("registered %d extensions, want 12", len(ext))
+	if len(ext) != 13 {
+		t.Fatalf("registered %d extensions, want 13", len(ext))
 	}
 	// Order: claims, then ablations, then extensions.
 	if All()[0].ID != "E1" || All()[32].ID != "A1" || All()[41].ID != "X1" {

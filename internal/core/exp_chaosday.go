@@ -22,27 +22,32 @@ import (
 
 // X10 composes the whole stack into one "day in production": a guarded,
 // Byzantine-robust distributed training job, a multi-tier serving fleet,
-// and an online learned-index maintenance engine share a single
+// an event-driven multi-tenant serving Fleet with its overload control
+// plane, and an online learned-index maintenance engine share a single
 // discrete-event kernel, while a declarative fault schedule walks the day
 // through scheduled crashes, a straggler window, a flash crowd on the
 // serving side, an open-ended Byzantine coalition, a numerical-fault
-// burst, and a corrupted-insert burst against the live index. Five global
+// burst, a corrupted-insert burst against the live index, and a flash
+// crowd plus a tenant retry storm against the fleet. Six global
 // invariants are checked across the composed system: (1) serving
 // availability stays above a floor for the whole day; (2) training does
 // not silently diverge — the final held-out loss stays within a small
 // factor of the fault-free baseline, and every guard/quarantine incident
 // reconciles with a scheduled fault; (3) the shared metric registry
-// reconciles EXACTLY with all three subsystems' own ledgers; (4) the full
+// reconciles EXACTLY with all four subsystems' own ledgers; (4) the full
 // day — metrics, traces, request ledger, quarantine ledger, index ledger,
-// and the kernel's event log — replays bit-identically; (5) the live
-// index keeps 100% query availability down its fallback ladder while
-// rolling back the corrupted burst and re-validating a retrained index.
+// fleet ledger, and the kernel's event log — replays bit-identically;
+// (5) the live index keeps 100% query availability down its fallback
+// ladder while rolling back the corrupted burst and re-validating a
+// retrained index; (6) every fleet tenant holds an availability floor
+// through the crowd and the storm — the overload control plane isolates
+// the abusive tenant.
 
 func init() {
 	register(Experiment{
 		ID: "X10", Section: "3",
-		Title: "A day in production: composed training + serving + live index under scheduled chaos",
-		Claim: "Training, serving, and online index maintenance composed on one simulation kernel survive a scheduled day of crashes, stragglers, a flash crowd, a Byzantine coalition, a numerical-fault burst, and a corrupted-insert burst: availability holds a floor, training does not silently diverge, the index rides its fallback ladder without dropping a query, every counter reconciles exactly with the subsystem ledgers, and the whole day replays bit-identically",
+		Title: "A day in production: composed training + serving + fleet + live index under scheduled chaos",
+		Claim: "Training, serving, the event-driven multi-tenant fleet, and online index maintenance composed on one simulation kernel survive a scheduled day of crashes, stragglers, flash crowds, a Byzantine coalition, a numerical-fault burst, a corrupted-insert burst, and a tenant retry storm: availability holds its floors (globally and per fleet tenant), training does not silently diverge, the index rides its fallback ladder without dropping a query, every counter reconciles exactly with the subsystem ledgers, and the whole day replays bit-identically",
 		Run:   runX10,
 	})
 }
@@ -57,12 +62,17 @@ const (
 	// x10LossFloor keeps the divergence ratio meaningful when the
 	// fault-free loss is very small.
 	x10LossFloor = 0.02
+	// x10TenantFloor is the whole-day availability floor every fleet
+	// tenant must hold despite the fleet's flash crowd and tenant 0's
+	// retry storm.
+	x10TenantFloor = 0.5
 )
 
 // chaosDay is the outcome of one composed production-day run.
 type chaosDay struct {
 	stats distributed.Stats
 	res   serve.Result
+	fres  serve.FleetResult
 	loss  float64 // held-out loss of the final consensus model
 
 	dbStats livedb.Stats
@@ -71,7 +81,7 @@ type chaosDay struct {
 	processed int
 	actors    []string
 
-	regFP, traceFP, serveFP, repFP, kernelFP, dbFP uint64
+	regFP, traceFP, serveFP, repFP, kernelFP, dbFP, fleetFP uint64
 
 	reconciled bool
 	detail     string
@@ -159,6 +169,37 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 		{Kind: fault.KindStraggle, StartS: 0.55 * day, EndS: 0.70 * day, Prob: 0.3, Factor: 6},
 	}}
 
+	// The event-driven multi-tenant fleet shares the same day. Request
+	// volume and service time scale off the probe duration so it runs at
+	// rho = 0.8 on its four initial replicas (per-item service is 0.4x
+	// ServiceS at full batch, so capacity = 10/ServiceS); its own flash
+	// crowd lands on the midday spike and tenant 0 turns abusive in the
+	// late afternoon. The full overload control plane is on.
+	fleetReqs := 2400
+	if scale == Full {
+		fleetReqs = 9600
+	}
+	fleetRate := float64(fleetReqs) / day
+	fltCfg := serve.FleetConfig{
+		Seed: 230,
+		Faults: fault.Config{Seed: 231, Schedule: []fault.Window{
+			// Midday flash crowd, aligned with the serving tier's.
+			{Kind: fault.KindArrival, StartS: 0.30 * day, EndS: 0.40 * day, Factor: 4},
+			// Late afternoon: tenant 0's clients retry x3 as aggressively.
+			{Kind: fault.KindRetryStorm, Workers: []int{0}, StartS: 0.55 * day, EndS: 0.70 * day, Factor: 3},
+		}},
+		Tenants:     8,
+		Requests:    fleetReqs,
+		ArrivalRate: fleetRate,
+		Replicas:    4,
+		ServiceS:    8 / fleetRate,
+	}
+	fltCfg.Admission.Adaptive = true
+	fltCfg.Autoscale.MaxReplicas = 8
+	fltCfg.Autoscale.IntervalS = day / 50
+	fltCfg.Autoscale.LagS = day / 25
+	fltCfg.Autoscale.CooldownS = day / 25
+
 	// The live learned index shares the same day: its maintenance cadence
 	// scales with the probe duration so retrains, rollbacks, and the swap
 	// all land inside the run, and its corrupted-insert burst sits in the
@@ -233,12 +274,21 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			return nil, err
 		}
 
-		// All three subsystems schedule their first event at t=0, then the
+		fc := fltCfg
+		fc.Kernel = k
+		fc.Obs = h
+		flt, err := serve.NewFleet(fc)
+		if err != nil {
+			return nil, err
+		}
+
+		// All four subsystems schedule their first event at t=0, then the
 		// kernel interleaves the whole day deterministically.
 		job.Start()
 		srv.Start()
 		eng.Start()
 		wl.Start()
+		flt.Start()
 		k.Run()
 
 		net, stats, err := job.Result()
@@ -246,10 +296,12 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			return nil, err
 		}
 		res := srv.Result()
+		fres := flt.Result()
 
 		d := &chaosDay{
 			stats:     stats,
 			res:       res,
+			fres:      fres,
 			loss:      heldOut(net),
 			dbStats:   eng.Stats(),
 			dbWl:      wl.Stats(),
@@ -258,6 +310,7 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 			serveFP:   res.Fingerprint(),
 			kernelFP:  k.Fingerprint(),
 			dbFP:      eng.Ledger().Fingerprint(),
+			fleetFP:   fres.LedgerFP,
 		}
 		if stats.Quarantine != nil {
 			d.repFP = stats.Quarantine.Fingerprint()
@@ -270,7 +323,7 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 		d.traceFP = h.Tracer.Fingerprint()
 
 		// Invariant 3: every counter on the SHARED registry reconciles
-		// exactly with the subsystem's own ledger — all three subsystems
+		// exactly with the subsystem's own ledger — all four subsystems
 		// wrote into one handle for the whole day.
 		r := &reconciler{h: h}
 		r.eq("distributed.retransmissions", int64(stats.Retransmissions))
@@ -328,6 +381,22 @@ func newX10Scenario(scale Scale) (*x10Scenario, error) {
 		r.check(led.Count(livedb.EvSwap) == st.Swaps, "index ledger swaps != stats")
 		r.check(led.Count(livedb.EvRollback) == st.Rollbacks, "index ledger rollbacks != stats")
 		r.check(led.SumN(livedb.EvRollback) == st.Quarantined, "index ledger quarantined != stats")
+		r.eq("fleet.arrived", int64(fres.Requests))
+		r.eq("fleet.served", int64(fres.Served))
+		r.eq("fleet.shed", int64(fres.Shed))
+		r.eq("fleet.failed", int64(fres.Failed))
+		r.eq("fleet.retries", int64(fres.Retries))
+		r.eq("fleet.retries_denied", int64(fres.RetriesDenied))
+		r.eq("fleet.cache_hits", int64(fres.CacheHits))
+		r.eq("fleet.cache_misses", int64(fres.CacheMisses))
+		r.eq("fleet.scale_up_replicas", int64(fres.ScaleUpReplicas))
+		r.eq("fleet.scale_down_replicas", int64(fres.ScaleDownReplicas))
+		for i, ts := range fres.Tenants {
+			r.eq(serve.TenantCounterName(i, "arrived"), int64(ts.Arrived))
+			r.eq(serve.TenantCounterName(i, "served"), int64(ts.Served))
+			r.eq(serve.TenantCounterName(i, "shed"), int64(ts.Shed))
+			r.eq(serve.TenantCounterName(i, "failed"), int64(ts.Failed))
+		}
 		r.check(h.Tracer.Len() > 0, "no spans recorded")
 		d.reconciled, d.detail = r.result()
 		return d, nil
@@ -359,7 +428,7 @@ func offendersWithin(led *robust.Ledger, coalition ...int) bool {
 
 func runX10(scale Scale) *Table {
 	t := &Table{ID: "X10", Title: "A day in production",
-		Claim:   "composed training + serving + live index on one kernel survive scheduled chaos: availability floor holds, no silent training divergence, the index ladder never drops a query, exact cross-subsystem reconciliation, bit-identical replay",
+		Claim:   "composed training + serving + fleet + live index on one kernel survive scheduled chaos: availability floors hold (globally and per fleet tenant), no silent training divergence, the index ladder never drops a query, exact cross-subsystem reconciliation, bit-identical replay",
 		Columns: []string{"check", "detail", "ok"}}
 
 	sc, err := newX10Scenario(scale)
@@ -382,7 +451,7 @@ func runX10(scale Scale) *Table {
 	t.AddRow("timeline",
 		fmt.Sprintf("day=%.4gs sim=%.4gs events=%d actors=%v",
 			sc.dayS, d1.stats.SimSeconds, d1.processed, d1.actors),
-		yesNo(d1.processed > 0 && len(d1.actors) == 4))
+		yesNo(d1.processed > 0 && len(d1.actors) == 7))
 
 	t.AddRow("chaos-observed",
 		fmt.Sprintf("crashes=%d straggler_rounds=%d byzantine=%d numerical=%d guard_skipped=%d quarantines=%d offenders=%s",
@@ -426,10 +495,11 @@ func runX10(scale Scale) *Table {
 
 	replay := d1.regFP == d2.regFP && d1.traceFP == d2.traceFP &&
 		d1.serveFP == d2.serveFP && d1.repFP == d2.repFP &&
-		d1.kernelFP == d2.kernelFP && d1.dbFP == d2.dbFP
+		d1.kernelFP == d2.kernelFP && d1.dbFP == d2.dbFP &&
+		d1.fleetFP == d2.fleetFP
 	t.AddRow("invariant-4-replay",
-		fmt.Sprintf("reg=%016x trace=%016x ledger=%016x quarantine=%016x kernel=%016x index=%016x",
-			d1.regFP, d1.traceFP, d1.serveFP, d1.repFP, d1.kernelFP, d1.dbFP),
+		fmt.Sprintf("reg=%016x trace=%016x ledger=%016x quarantine=%016x kernel=%016x index=%016x fleet=%016x",
+			d1.regFP, d1.traceFP, d1.serveFP, d1.repFP, d1.kernelFP, d1.dbFP, d1.fleetFP),
 		yesNo(replay))
 
 	// Invariant 5: the live index never dropped a query — every lookup and
@@ -453,7 +523,25 @@ func runX10(scale Scale) *Table {
 			d1.dbStats.TierServed[livedb.TierBTree], d1.dbStats.TierServed[livedb.TierScan]),
 		yesNo(dbOK))
 
-	t.Shape = "one shared kernel drives all three subsystems through the scheduled day; availability holds the floor, training stays near the fault-free loss with guard and quarantine incidents matching the schedule, the live index rides its fallback ladder through the corrupted burst without dropping a query, all counters reconcile exactly, and every fingerprint replays bit-identically"
+	// Invariant 6: the fleet's overload control plane holds every tenant
+	// above the availability floor through its flash crowd and tenant 0's
+	// retry storm, finalizes every request, and the retries counter shows
+	// the storm actually bit.
+	minTenant := 1.0
+	for _, ts := range d1.fres.Tenants {
+		if ts.Availability < minTenant {
+			minTenant = ts.Availability
+		}
+	}
+	fleetComplete := d1.fres.Served+d1.fres.Shed+d1.fres.Failed == d1.fres.Requests
+	t.AddRow("invariant-6-tenants",
+		fmt.Sprintf("min_tenant_availability=%.4g floor=%.4g overall=%.4g tenants=%d retries=%d denied=%d served=%d of %d",
+			minTenant, x10TenantFloor, d1.fres.Availability, len(d1.fres.Tenants),
+			d1.fres.Retries, d1.fres.RetriesDenied, d1.fres.Served, d1.fres.Requests),
+		yesNo(fleetComplete && len(d1.fres.Tenants) == 8 &&
+			minTenant >= x10TenantFloor && d1.fres.Retries > 0))
+
+	t.Shape = "one shared kernel drives all four subsystems through the scheduled day; availability holds its floors globally and per fleet tenant, training stays near the fault-free loss with guard and quarantine incidents matching the schedule, the live index rides its fallback ladder through the corrupted burst without dropping a query, all counters reconcile exactly, and every fingerprint replays bit-identically"
 	return t
 }
 

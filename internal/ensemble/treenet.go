@@ -145,6 +145,10 @@ func TrainTreeNet(seed int64, x, y *tensor.Tensor, cfg TrainConfig) Result {
 	for i := range losses {
 		losses[i] = nn.NewSoftmaxCrossEntropy()
 	}
+	// The K branches share one skeleton, so their forward GEMMs batch into
+	// rank-3 BatMul calls (see treenet_batched.go) — bit-identical to the
+	// sequential per-branch walk, which remains as the reference path.
+	batched := !cfg.SequentialBranches && branchesBatchable(t)
 	var res Result
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
@@ -157,19 +161,23 @@ func TrainTreeNet(seed int64, x, y *tensor.Tensor, cfg TrainConfig) Result {
 			for _, p := range t.Params() {
 				p.ZeroGrad()
 			}
-			h := t.forwardTrunk(bx, true)
-			var dTrunk *tensor.Tensor
-			for bi, br := range t.Branches {
-				logits := forwardLayers(br, h, true)
-				losses[bi].Forward(logits, by)
-				dh := backwardLayers(br, losses[bi].Backward())
-				if dTrunk == nil {
-					dTrunk = dh
-				} else {
-					dTrunk.AddInPlace(dh)
+			if batched {
+				t.trainStepBatched(bx, by, losses)
+			} else {
+				h := t.forwardTrunk(bx, true)
+				var dTrunk *tensor.Tensor
+				for bi, br := range t.Branches {
+					logits := forwardLayers(br, h, true)
+					losses[bi].Forward(logits, by)
+					dh := backwardLayers(br, losses[bi].Backward())
+					if dTrunk == nil {
+						dTrunk = dh
+					} else {
+						dTrunk.AddInPlace(dh)
+					}
 				}
+				backwardLayers(t.Trunk, dTrunk)
 			}
-			backwardLayers(t.Trunk, dTrunk)
 			opt.Step(t.Params())
 			res.Steps++
 			res.FLOPs += t.trainFLOPsPerExample() * int64(end-start)

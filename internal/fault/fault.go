@@ -58,6 +58,14 @@ const (
 	KindLinkSlow  // link degraded for the round: hop time multiplied
 	KindPartition // network bipartition: every link across the cut is severed
 
+	// Serving-overload fault classes, scheduled in windows against the
+	// event-driven serving fleet (internal/serve Fleet). Both are
+	// factor-shaped: a window's Factor is the knob and Prob is ignored,
+	// like KindArrival flash crowds.
+
+	KindRetryStorm // client class turns impatient: extra retries, compressed backoff
+	KindBrownout   // replica brownout: service time multiplied (thermal throttle, noisy neighbour)
+
 	// kindEnd is one past the last declared kind. The exhaustiveness test
 	// iterates [KindCrash, kindEnd) and fails on any "unknown" rendering,
 	// so a new kind cannot silently print as unknown in ledgers.
@@ -99,6 +107,10 @@ func (k Kind) String() string {
 		return "link-slow"
 	case KindPartition:
 		return "partition"
+	case KindRetryStorm:
+		return "retry-storm"
+	case KindBrownout:
+		return "brownout"
 	}
 	return "unknown"
 }

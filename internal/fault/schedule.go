@@ -163,6 +163,16 @@ func (c Config) validateSchedule() error {
 				return &ConfigError{Field: "Schedule", Value: w.Factor,
 					Reason: "arrival window needs a positive rate Factor"}
 			}
+		case w.Kind == KindRetryStorm:
+			if w.Factor <= 1 {
+				return &ConfigError{Field: "Schedule", Value: w.Factor,
+					Reason: "retry-storm window needs a Factor > 1 (retry aggression multiplier)"}
+			}
+		case w.Kind == KindBrownout:
+			if w.Factor <= 1 {
+				return &ConfigError{Field: "Schedule", Value: w.Factor,
+					Reason: "brownout window needs a Factor > 1 (service-time multiplier)"}
+			}
 		case IsByzantineKind(w.Kind):
 			if len(c.ByzantineWorkers) > 0 {
 				return &ConfigError{Field: "Schedule", Value: float64(i),
@@ -291,11 +301,19 @@ func (i *Injector) StraggleFactorAt(worker, step int, t float64) float64 {
 // factors active at t. A flash-crowd window with Factor 8 therefore
 // multiplies the arrival rate by 8 for its duration.
 func (i *Injector) ArrivalGapAt(id int, mean, t float64) float64 {
+	return i.ArrivalGapFor(0, id, mean, t)
+}
+
+// ArrivalGapFor is ArrivalGapAt for a specific arrival stream (worker is
+// the stream id — a tenant, in the multi-tenant serving fleet). Arrival
+// windows listing specific Workers compress only those streams' gaps, so a
+// flash crowd can target one tenant.
+func (i *Injector) ArrivalGapFor(worker, id int, mean, t float64) float64 {
 	if i == nil || mean <= 0 {
 		return 0
 	}
-	_, f := i.windowStateAt(KindArrival, 0, t)
-	return i.Exp(KindArrival, 0, id, 0, mean/f)
+	_, f := i.windowStateAt(KindArrival, worker, t)
+	return i.Exp(KindArrival, worker, id, 0, mean/f)
 }
 
 // byzantineAt resolves which Byzantine attack (if any) the worker mounts

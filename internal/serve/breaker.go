@@ -78,13 +78,16 @@ func (c *BreakerConfig) defaults() {
 
 func (c BreakerConfig) validate() error {
 	if c.CooldownS <= 0 {
-		return fmt.Errorf("serve: breaker CooldownS must be positive, got %g", c.CooldownS)
+		return &ConfigError{Field: "Breaker.CooldownS",
+			Reason: fmt.Sprintf("must be positive, got %g", c.CooldownS)}
 	}
 	if c.FailureRate > 1 {
-		return fmt.Errorf("serve: breaker FailureRate %g out of (0,1]", c.FailureRate)
+		return &ConfigError{Field: "Breaker.FailureRate",
+			Reason: fmt.Sprintf("%g out of (0,1]", c.FailureRate)}
 	}
 	if c.MinSamples > c.Window {
-		return fmt.Errorf("serve: breaker MinSamples %d exceeds Window %d", c.MinSamples, c.Window)
+		return &ConfigError{Field: "Breaker.MinSamples",
+			Reason: fmt.Sprintf("%d exceeds Window %d", c.MinSamples, c.Window)}
 	}
 	return nil
 }

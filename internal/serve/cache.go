@@ -1,0 +1,97 @@
+package serve
+
+import "container/list"
+
+// Hot-key result cache. Serving traffic is heavily key-skewed (a few
+// prompts, a few feature vectors dominate); a small LRU of recent results
+// with a staleness bound absorbs the hottest keys before they reach the
+// queue, which both cuts latency for the common case and removes load
+// exactly where the Zipf head concentrates it. Entries are inserted when a
+// replica serves a key; the cached value is the model prediction the
+// fleet precomputed through the batched BatMul path (tierPredictions /
+// batchPredict), so a hit returns bit-identically what the replica would
+// have computed. The LRU is a map plus an intrusive list — no map
+// iteration anywhere — so runs replay deterministically.
+
+// CacheConfig tunes the fleet's hot-key result cache.
+type CacheConfig struct {
+	// Disabled turns the cache off (every request hits the queue).
+	Disabled bool
+	// Capacity is the max cached keys (default 256).
+	Capacity int
+	// TTLS bounds staleness: entries older than this are misses and are
+	// evicted on contact (default 50 deadlines).
+	TTLS float64
+}
+
+func (c *CacheConfig) defaults(deadlineS float64) {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.TTLS <= 0 {
+		c.TTLS = 50 * deadlineS
+	}
+}
+
+type cacheEntry struct {
+	key     int
+	pred    int
+	expires float64
+}
+
+// resultCache is a TTL'd LRU keyed by request key.
+type resultCache struct {
+	capacity int
+	ttl      float64
+	order    *list.List // front = most recently used
+	byKey    map[int]*list.Element
+}
+
+func newResultCache(cfg CacheConfig, deadlineS float64) *resultCache {
+	cfg.defaults(deadlineS)
+	return &resultCache{
+		capacity: cfg.Capacity,
+		ttl:      cfg.TTLS,
+		order:    list.New(),
+		byKey:    map[int]*list.Element{},
+	}
+}
+
+// get returns the cached prediction for key if present and fresh,
+// promoting it to most-recently-used. Expired entries are evicted.
+func (c *resultCache) get(key int, now float64) (int, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if now >= ent.expires {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	return ent.pred, true
+}
+
+// put inserts (or refreshes) the key's result, evicting the
+// least-recently-used entry when full.
+func (c *resultCache) put(key, pred int, now float64) {
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.pred = pred
+		ent.expires = now + c.ttl
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, pred: pred, expires: now + c.ttl})
+	c.byKey[key] = el
+}
+
+// len reports live entries (expired ones may linger until touched).
+func (c *resultCache) len() int { return c.order.Len() }

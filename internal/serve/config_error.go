@@ -1,0 +1,16 @@
+package serve
+
+import "fmt"
+
+// ConfigError is a typed validation failure for a degenerate serving
+// config field: which field, and why its value cannot run. It matches the
+// distributed.ConfigError pattern so callers screen bad configs the same
+// way on both sides of the stack (errors.As against *serve.ConfigError).
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serve: config %s %s", e.Field, e.Reason)
+}

@@ -117,18 +117,21 @@ func (c *Config) defaults() {
 // derives time units from replica service times.
 func (c Config) validateFleet() error {
 	if len(c.Replicas) == 0 {
-		return fmt.Errorf("serve: no replicas")
+		return &ConfigError{Field: "Replicas", Reason: "must list at least one replica"}
 	}
 	for i, r := range c.Replicas {
 		if r.Efficiency <= 0 || r.Efficiency > 1 {
-			return fmt.Errorf("serve: replica %d efficiency %g out of (0,1]", i, r.Efficiency)
+			return &ConfigError{Field: fmt.Sprintf("Replicas[%d].Efficiency", i),
+				Reason: fmt.Sprintf("%g out of (0,1]", r.Efficiency)}
 		}
 		if r.Variant.Bytes <= 0 || r.Variant.FLOPs <= 0 {
-			return fmt.Errorf("serve: replica %d variant %q has non-positive cost (bytes=%d flops=%d)",
-				i, r.Variant.Name, r.Variant.Bytes, r.Variant.FLOPs)
+			return &ConfigError{Field: fmt.Sprintf("Replicas[%d].Variant", i),
+				Reason: fmt.Sprintf("%q has non-positive cost (bytes=%d flops=%d)",
+					r.Variant.Name, r.Variant.Bytes, r.Variant.FLOPs)}
 		}
 		if r.Variant.Tier < TierFull || r.Variant.Tier >= numTiers {
-			return fmt.Errorf("serve: replica %d has unknown tier %d", i, r.Variant.Tier)
+			return &ConfigError{Field: fmt.Sprintf("Replicas[%d].Variant.Tier", i),
+				Reason: fmt.Sprintf("unknown tier %d", r.Variant.Tier)}
 		}
 	}
 	return nil
@@ -136,19 +139,23 @@ func (c Config) validateFleet() error {
 
 func (c Config) validate() error {
 	if c.ArrivalRate <= 0 {
-		return fmt.Errorf("serve: ArrivalRate must be positive, got %g", c.ArrivalRate)
+		return &ConfigError{Field: "ArrivalRate",
+			Reason: fmt.Sprintf("must be positive, got %g", c.ArrivalRate)}
 	}
 	if c.Requests <= 0 {
-		return fmt.Errorf("serve: Requests must be positive, got %d", c.Requests)
+		return &ConfigError{Field: "Requests",
+			Reason: fmt.Sprintf("must be positive, got %d", c.Requests)}
 	}
 	// The fault hash stream encodes (request, attempt) with primary
 	// attempts in slots 0..3 and hedges in 4..7, so more than 4 primary
 	// attempts would collide with hedge draws.
 	if c.MaxAttempts > 4 {
-		return fmt.Errorf("serve: MaxAttempts %d exceeds 4", c.MaxAttempts)
+		return &ConfigError{Field: "MaxAttempts",
+			Reason: fmt.Sprintf("%d exceeds 4", c.MaxAttempts)}
 	}
 	if c.HedgeQuantile < 0 || c.HedgeQuantile >= 1 {
-		return fmt.Errorf("serve: HedgeQuantile %g out of [0,1)", c.HedgeQuantile)
+		return &ConfigError{Field: "HedgeQuantile",
+			Reason: fmt.Sprintf("%g out of [0,1)", c.HedgeQuantile)}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"container/heap"
 	"fmt"
 	"hash/fnv"
+	"math"
 )
 
 // Clock is the read-only view of simulated time that components take as a
@@ -112,12 +113,28 @@ func (l *logHash) init() {
 	}
 }
 
-func (l *logHash) write(s string) {
-	l.init()
-	for i := 0; i < len(s); i++ {
-		l.h ^= uint64(s[i])
-		l.h *= 1099511628211 // FNV-1a prime
+// word folds one 64-bit value into the hash byte by byte, little-endian.
+// Splitting into bytes keeps the stream identical in spirit to the textual
+// log (every bit of every field reaches the FNV state) while avoiding the
+// fmt round-trip that dominated Step at million-event scale.
+func (l *logHash) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		l.h ^= v & 0xff
+		l.h *= 1099511628211
+		v >>= 8
 	}
+}
+
+// event folds one executed event — actor name, scheduled stamp, sequence
+// number — into the log hash without allocating.
+func (l *logHash) event(actor string, t float64, seq uint64) {
+	l.init()
+	for i := 0; i < len(actor); i++ {
+		l.h ^= uint64(actor[i])
+		l.h *= 1099511628211
+	}
+	l.word(math.Float64bits(t))
+	l.word(seq)
 }
 
 // New builds an empty kernel with the clock at zero.
@@ -204,7 +221,7 @@ func (k *Kernel) Step() bool {
 			k.now = ev.t
 		}
 		k.processed++
-		k.log.write(fmt.Sprintf("%s|%.17g|%d\n", ev.actor, ev.t, ev.seq))
+		k.log.event(ev.actor, ev.t, ev.seq)
 		if a, ok := k.actors[ev.actor]; ok {
 			a.fired++
 		}
